@@ -1,0 +1,75 @@
+//! Design-choice ablations (DESIGN.md §3): entropy-coder choice,
+//! delta-vs-absolute semantic coding, foveation granularity, server
+//! placement, and visibility-aware semantic delivery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use visionsim_experiments::ablations;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print every ablation's headline numbers.
+    let coder = ablations::entropy_coder(200_000, 2024);
+    eprintln!(
+        "\nEntropy coder on {} B of mesh residuals: rANS {} B, LZ+range {} B",
+        coder.input_len, coder.rans_len, coder.lzma_len
+    );
+    let delta = ablations::delta_coding(900, 2024);
+    eprintln!(
+        "Semantic coding: absolute {:.0} B/frame ({:.2} Mbps) vs delta {:.0} B/frame ({:.2} Mbps) — \
+         loss resilience costs {:.1}x bandwidth",
+        delta.absolute_bytes,
+        delta.absolute_mbps,
+        delta.delta_bytes,
+        delta.delta_mbps,
+        delta.absolute_bytes / delta.delta_bytes
+    );
+    eprintln!("Foveation granularity sweep (4 personas, gaze dynamics):");
+    for p in ablations::foveation_granularity(2_000, 2024) {
+        eprintln!(
+            "  fovea ±{:>4.1}° → mean {:>7.0} triangles/frame",
+            p.fovea_deg, p.mean_triangles
+        );
+    }
+    let placement = ablations::placement();
+    eprintln!(
+        "Server placement (intercontinental roster): initiator-near worst RTT {:.0} ms, \
+         geo-distributed {:.0} ms",
+        placement.initiator_worst_rtt_ms, placement.geo_worst_rtt_ms
+    );
+    let culling = ablations::semantic_culling(5_000, 2024);
+    eprintln!(
+        "Visibility-aware delivery (§4.4 proposal): {:.0}% of frames actually needed by \
+         the receiver → {:.0}% uplink saving available\n",
+        culling.delivered_fraction * 100.0,
+        culling.saving_percent
+    );
+
+    eprintln!(
+        "{}",
+        visionsim_experiments::extensions::format_fec(
+            &visionsim_experiments::extensions::fec_under_loss(300, 2_000, 2024)
+        )
+    );
+    eprintln!(
+        "{}",
+        visionsim_experiments::extensions::format_beyond_five(
+            &visionsim_experiments::extensions::beyond_five_users(8, 2024)
+        )
+    );
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("entropy_coder_50k", |b| {
+        b.iter(|| black_box(ablations::entropy_coder(50_000, 5)))
+    });
+    g.bench_function("delta_coding_300frames", |b| {
+        b.iter(|| black_box(ablations::delta_coding(300, 5)))
+    });
+    g.bench_function("foveation_sweep_600frames", |b| {
+        b.iter(|| black_box(ablations::foveation_granularity(600, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 4: two-party uplink throughput for the five app configurations.
+//!
+//! Prints the regenerated figure once, then benchmarks one full two-party
+//! session per persona type (the unit of work behind each bar).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use visionsim_core::time::SimDuration;
+use visionsim_device::device::DeviceKind;
+use visionsim_geo::cities;
+use visionsim_geo::sites::Provider;
+use visionsim_vca::session::{SessionConfig, SessionRunner};
+
+fn session(provider: Provider, peer: DeviceKind, secs: u64) -> visionsim_vca::session::SessionOutcome {
+    let mut cfg = SessionConfig::two_party(
+        provider,
+        (
+            DeviceKind::VisionPro,
+            cities::by_name("San Francisco, CA").unwrap(),
+        ),
+        (peer, cities::by_name("New York, NY").unwrap()),
+        99,
+    );
+    cfg.duration = SimDuration::from_secs(secs);
+    SessionRunner::new(cfg).run()
+}
+
+fn bench(c: &mut Criterion) {
+    let fig = visionsim_experiments::figure4::run(2, 20, 2024);
+    eprintln!("\n{fig}");
+
+    let mut g = c.benchmark_group("figure4");
+    g.sample_size(10);
+    g.bench_function("facetime_spatial_5s_session", |b| {
+        b.iter(|| black_box(session(Provider::FaceTime, DeviceKind::VisionPro, 5)))
+    });
+    g.bench_function("webex_2d_5s_session", |b| {
+        b.iter(|| black_box(session(Provider::Webex, DeviceKind::MacBook, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 5: rendered triangles and GPU time under the visibility
+//! optimizations, plus the visibility pipeline's own evaluation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use visionsim_mesh::generate::{head_mesh, PERSONA_TRIANGLES};
+use visionsim_mesh::geometry::Vec3;
+use visionsim_mesh::lod::LodChain;
+use visionsim_render::camera::Viewer;
+use visionsim_render::visibility::{PersonaInstance, VisibilityFlags, VisibilityPipeline};
+
+fn bench(c: &mut Criterion) {
+    let fig = visionsim_experiments::figure5::run(500, 2024);
+    eprintln!("\n{fig}");
+
+    let mut g = c.benchmark_group("figure5");
+    g.sample_size(20);
+    g.bench_function("experiment_200frames", |b| {
+        b.iter(|| black_box(visionsim_experiments::figure5::run(200, 7)))
+    });
+
+    // The per-frame pipeline evaluation (what runs 90x/s on-device).
+    let pipe = VisibilityPipeline::new(VisibilityFlags::vision_pro());
+    let viewer = Viewer::looking(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+    let personas: Vec<PersonaInstance> = (0..4)
+        .map(|i| PersonaInstance::paper_ladder(Vec3::new(i as f32 * 0.4 - 0.6, 0.0, -1.4)))
+        .collect();
+    g.bench_function("pipeline_evaluate_4_personas", |b| {
+        b.iter(|| black_box(pipe.evaluate(&viewer, &personas)))
+    });
+    g.finish();
+
+    // Building the persona LOD ladder (session-setup cost).
+    let mut g = c.benchmark_group("lod");
+    g.sample_size(10);
+    let mesh = head_mesh(PERSONA_TRIANGLES, 1);
+    g.bench_function("build_persona_lod_chain", |b| {
+        b.iter(|| black_box(LodChain::build(&mesh, &[45_036, 21_036, 36])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

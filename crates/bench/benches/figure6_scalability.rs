@@ -1,0 +1,34 @@
+//! Figure 6: scalability sweep, 2–5 Vision Pro users, and the per-size
+//! session cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use visionsim_core::time::SimDuration;
+use visionsim_geo::cities;
+use visionsim_vca::session::{SessionConfig, SessionRunner};
+
+fn bench(c: &mut Criterion) {
+    let fig = visionsim_experiments::figure6::run(20, 2024);
+    eprintln!("\n{fig}");
+
+    let mut g = c.benchmark_group("figure6");
+    g.sample_size(10);
+    let cities = cities::us_vantages();
+    for users in [2usize, 5] {
+        g.bench_with_input(
+            BenchmarkId::new("session_5s", users),
+            &users,
+            |b, &users| {
+                b.iter(|| {
+                    let mut cfg = SessionConfig::facetime_avp(users, &cities, 3);
+                    cfg.duration = SimDuration::from_secs(5);
+                    black_box(SessionRunner::new(cfg).run())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! §4.1 protocol findings, plus the passive classifier's throughput (the
+//! per-packet cost of the Wireshark-style analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use visionsim_transport::classify::classify;
+use visionsim_transport::quic::QuicStreamSender;
+use visionsim_transport::rtp::{PayloadType, RtpStream};
+
+fn bench(c: &mut Criterion) {
+    let protocols = visionsim_experiments::protocols::run(8, 2024);
+    eprintln!("\n{protocols}");
+
+    // Classifier micro-benchmarks.
+    let mut rtp = RtpStream::video(PayloadType::H264Video, 1);
+    let rtp_pkt = rtp.packetize(0.0, vec![0u8; 1_000], true).to_bytes();
+    let mut quic = QuicStreamSender::new(*b"BENCH001", 0, [1u8; 32]);
+    let quic_pkt = quic.send(vec![0u8; 1_000]);
+
+    let mut g = c.benchmark_group("classify");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("rtp_packet", |b| {
+        b.iter(|| black_box(classify(&rtp_pkt[..16])))
+    });
+    g.bench_function("quic_packet", |b| {
+        b.iter(|| black_box(classify(&quic_pkt[..16])))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("protocols");
+    g.sample_size(10);
+    g.bench_function("full_matrix_3s_sessions", |b| {
+        b.iter(|| black_box(visionsim_experiments::protocols::run(3, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

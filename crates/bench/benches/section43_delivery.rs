@@ -1,0 +1,34 @@
+//! §4.3 "What is Being Delivered?" — all four inline experiments:
+//! mesh-streaming bandwidth floor, display-latency invariance, keypoint
+//! stream rate, and the rate-adaptation cliff.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print all four artifacts.
+    let mesh = visionsim_experiments::mesh_streaming::run(4, 2024);
+    eprintln!("\n{mesh}");
+    let latency = visionsim_experiments::display_latency::run(300, 2024);
+    eprintln!("{latency}");
+    let kp = visionsim_experiments::keypoint_rate::run(2_000, 2024);
+    eprintln!("{kp}");
+    let cliff = visionsim_experiments::rate_adaptation::run(12, 2024);
+    eprintln!("{cliff}");
+
+    let mut g = c.benchmark_group("section43");
+    g.sample_size(10);
+    g.bench_function("mesh_streaming_2frames", |b| {
+        b.iter(|| black_box(visionsim_experiments::mesh_streaming::run(2, 5)))
+    });
+    g.bench_function("display_latency_100trials", |b| {
+        b.iter(|| black_box(visionsim_experiments::display_latency::run(100, 5)))
+    });
+    g.bench_function("keypoint_rate_500frames", |b| {
+        b.iter(|| black_box(visionsim_experiments::keypoint_rate::run(500, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 1: RTT matrix between provider servers and regional test users.
+//!
+//! Prints the regenerated table once, then benchmarks the probing run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the paper artifact.
+    let table = visionsim_experiments::table1::run(10, 2024);
+    eprintln!("\n{table}");
+    eprintln!("max σ = {:.2} ms (paper: <7 ms)\n", table.max_std());
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("rtt_matrix_5probes", |b| {
+        b.iter(|| black_box(visionsim_experiments::table1::run(5, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

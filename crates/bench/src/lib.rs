@@ -1,0 +1,18 @@
+//! # visionsim-bench
+//!
+//! Criterion benchmark harness. Every table and figure in the paper's
+//! evaluation has a bench target that (a) regenerates the artifact and
+//! prints it, and (b) measures the cost of the regeneration:
+//!
+//! | bench target | paper artifact |
+//! |---|---|
+//! | `table1_rtt` | Table 1 |
+//! | `figure4_throughput` | Figure 4 |
+//! | `figure5_visibility` | Figure 5 |
+//! | `figure6_scalability` | Figure 6 |
+//! | `section43_delivery` | §4.3 inline experiments (mesh streaming, display latency, keypoints, rate cliff) |
+//! | `protocol_classify` | §4.1 protocol findings |
+//! | `codecs` | micro-benchmarks of every in-tree codec |
+//! | `ablations` | DESIGN.md's design-choice ablations |
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,27 @@
+//! # visionsim-capture
+//!
+//! AP-side traffic analysis — what the paper does with Wireshark at each
+//! user's WiFi access point. Raw [`visionsim_net::TapRecord`]s become:
+//!
+//! * [`flow`] — a flow table keyed by (addresses, ports), accumulating
+//!   packets, bytes, and per-second throughput per flow;
+//! * [`analysis`] — the measurement reductions the paper reports: uplink /
+//!   downlink throughput for a subject device (Figure 4 / Figure 6c),
+//!   passive protocol identification per flow (§4.1's QUIC-vs-RTP
+//!   finding), and peer/server discovery for geolocation (Table 1's
+//!   methodology);
+//! * [`log`] — a text dump of captured packets (one tshark-style line
+//!   each), for the examples and for eyeballing traces;
+//! * [`pcap`] — binary libpcap export, so simulated traces open in
+//!   Wireshark itself;
+//! * [`qoe`] — passive QoE estimation from packet timing alone (frame
+//!   rate, stalls), the §5-suggested methodology for encrypted traffic.
+
+pub mod analysis;
+pub mod flow;
+pub mod log;
+pub mod pcap;
+pub mod qoe;
+
+pub use analysis::CaptureAnalysis;
+pub use flow::{FlowKey, FlowStats, FlowTable};

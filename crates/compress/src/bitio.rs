@@ -1,0 +1,151 @@
+//! MSB-first bit-level I/O over byte buffers.
+
+/// Writes bits MSB-first into a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the final partial byte (0 = none pending).
+    pending_bits: u8,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Write a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.pending_bits == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.pending_bits);
+        }
+        self.pending_bits = (self.pending_bits + 1) % 8;
+    }
+
+    /// Write the `count` low bits of `value`, MSB-first. `count` ≤ 64.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total number of bits written.
+    pub fn bit_len(&self) -> usize {
+        if self.pending_bits == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.pending_bits as usize
+        }
+    }
+
+    /// Finish, padding the final byte with zero bits.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos_bits: 0 }
+    }
+
+    /// Read one bit; `None` at end of input.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let byte = self.bytes.get(self.pos_bits / 8)?;
+        let bit = (byte >> (7 - (self.pos_bits % 8))) & 1 == 1;
+        self.pos_bits += 1;
+        Some(bit)
+    }
+
+    /// Read `count` bits MSB-first into the low bits of a u64.
+    pub fn read_bits(&mut self, count: u8) -> Option<u64> {
+        assert!(count <= 64);
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEAD, 16);
+        w.write_bits(1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(16), Some(0xDEAD));
+        assert_eq!(r.read_bits(1), Some(1));
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1000_0000, 8);
+        assert_eq!(w.into_bytes(), vec![0x80]);
+    }
+
+    #[test]
+    fn reading_past_end_is_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(4), None);
+    }
+
+    #[test]
+    fn zero_count_reads_zero() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0), Some(0));
+    }
+
+    #[test]
+    fn sixty_four_bit_value_round_trips() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX - 12345, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64), Some(u64::MAX - 12345));
+    }
+}

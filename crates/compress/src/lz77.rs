@@ -1,0 +1,240 @@
+//! LZ77 match finding over a sliding window.
+//!
+//! A hash-chain matcher in the zlib/LZMA lineage: positions are indexed by
+//! a hash of their 3-byte prefix; candidate matches are walked newest-first
+//! up to a bounded chain depth. Greedy parsing with a one-step lazy
+//! heuristic (defer a match if the next position matches longer).
+
+/// Smallest useful match.
+pub const MIN_MATCH: usize = 3;
+/// Longest encodable match.
+pub const MAX_MATCH: usize = 273;
+/// Sliding window (maximum match distance).
+pub const WINDOW: usize = 1 << 16;
+
+const HASH_BITS: u32 = 15;
+const CHAIN_DEPTH: usize = 64;
+
+/// One parsed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Copy length, in `[MIN_MATCH, MAX_MATCH]`.
+        len: usize,
+        /// Distance back, in `[1, WINDOW]`.
+        dist: usize,
+    },
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(0x0185));
+    (h >> (16 - HASH_BITS) & ((1 << HASH_BITS) - 1)) as usize
+}
+
+fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let mut n = 0;
+    while n < max && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Find the best match for position `i` using the hash chains.
+fn best_match(
+    data: &[u8],
+    i: usize,
+    head: &[i64],
+    prev: &[i64],
+) -> Option<(usize, usize)> {
+    if i + MIN_MATCH > data.len() {
+        return None;
+    }
+    let max_len = MAX_MATCH.min(data.len() - i);
+    let mut best: Option<(usize, usize)> = None;
+    let mut cand = head[hash3(data, i)];
+    let mut depth = 0;
+    while cand >= 0 && depth < CHAIN_DEPTH {
+        let c = cand as usize;
+        if i - c > WINDOW {
+            break;
+        }
+        let len = match_len(data, c, i, max_len);
+        if len >= MIN_MATCH && best.is_none_or(|(bl, _)| len > bl) {
+            best = Some((len, i - c));
+            if len == max_len {
+                break;
+            }
+        }
+        cand = prev[c % WINDOW];
+        depth += 1;
+    }
+    best
+}
+
+/// Parse `data` into LZ77 tokens.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let n = data.len();
+    let mut head = vec![-1i64; 1 << HASH_BITS];
+    let mut prev = vec![-1i64; WINDOW];
+    let insert = |head: &mut [i64], prev: &mut [i64], i: usize| {
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            prev[i % WINDOW] = head[h];
+            head[h] = i as i64;
+        }
+    };
+    let mut i = 0;
+    while i < n {
+        let here = best_match(data, i, &head, &prev);
+        let use_match = match here {
+            None => None,
+            Some((len, dist)) => {
+                // Lazy heuristic: if the next position matches strictly
+                // longer, emit a literal now and take that match next.
+                if i + 1 < n {
+                    insert(&mut head, &mut prev, i);
+                    let next = best_match(data, i + 1, &head, &prev);
+                    if let Some((nlen, _)) = next {
+                        if nlen > len + 1 {
+                            tokens.push(Token::Literal(data[i]));
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    // `i` already inserted; emit match and insert the rest.
+                    for j in i + 1..i + len {
+                        insert(&mut head, &mut prev, j);
+                    }
+                    tokens.push(Token::Match { len, dist });
+                    i += len;
+                    continue;
+                }
+                Some((len, dist))
+            }
+        };
+        match use_match {
+            Some((len, dist)) => {
+                for j in i..i + len {
+                    insert(&mut head, &mut prev, j);
+                }
+                tokens.push(Token::Match { len, dist });
+                i += len;
+            }
+            None => {
+                insert(&mut head, &mut prev, i);
+                tokens.push(Token::Literal(data[i]));
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Reconstruct the original bytes from tokens.
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                assert!(dist >= 1 && dist <= out.len(), "bad distance {dist}");
+                let start = out.len() - dist;
+                // Overlapping copies are the point (run-length encoding).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let tokens = tokenize(data);
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_text_round_trips_and_finds_matches() {
+        let data = b"the quick brown fox the quick brown fox the quick brown fox";
+        let tokens = tokenize(data);
+        assert_eq!(detokenize(&tokens), data);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "no matches found in repetitive input"
+        );
+        assert!(tokens.len() < data.len() / 2);
+    }
+
+    #[test]
+    fn overlapping_run_length_copy() {
+        // "aaaa..." compresses to one literal + one overlapping match.
+        let data = vec![b'a'; 300];
+        let tokens = tokenize(&data);
+        assert_eq!(detokenize(&tokens), data);
+        assert!(tokens.len() <= 4, "run should collapse, got {tokens:?}");
+    }
+
+    #[test]
+    fn incompressible_data_round_trips() {
+        // A pseudo-random byte string (xorshift) has few matches.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..2_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn match_lengths_are_bounded() {
+        let data = vec![7u8; 10_000];
+        for t in tokenize(&data) {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+                assert!((1..=WINDOW).contains(&dist));
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_binary_data_round_trips() {
+        // Mimics the keypoint stream: small periodic deltas.
+        let data: Vec<u8> = (0..5_000u32)
+            .map(|i| ((i % 74) as u8).wrapping_add((i / 740) as u8))
+            .collect();
+        round_trip(&data);
+        let tokens = tokenize(&data);
+        assert!(tokens.len() < data.len() / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad distance")]
+    fn detokenize_rejects_bad_distance() {
+        detokenize(&[Token::Match { len: 3, dist: 5 }]);
+    }
+}

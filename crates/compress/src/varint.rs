@@ -1,0 +1,116 @@
+//! LEB128 varints and zigzag signed mapping.
+//!
+//! Used for codec headers (lengths, frequency tables) and for the
+//! delta-coded keypoint/mesh residuals, where small magnitudes dominate.
+
+/// Append `value` as a LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, returning `(value, bytes_consumed)`.
+/// `None` on truncated or over-long (>10 byte) input.
+pub fn read_u64(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    for (i, &b) in bytes.iter().enumerate().take(10) {
+        let payload = (b & 0x7F) as u64;
+        if i == 9 && b > 1 {
+            return None; // would overflow 64 bits
+        }
+        value |= payload << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+    }
+    None
+}
+
+/// Zigzag-map a signed value to unsigned (small magnitudes → small codes).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a signed value as zigzag varint.
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// Read a zigzag varint, returning `(value, bytes_consumed)`.
+pub fn read_i64(bytes: &[u8]) -> Option<(i64, usize)> {
+    read_u64(bytes).map(|(v, n)| (unzigzag(v), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (got, n) = read_u64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        assert!(read_u64(&[0x80]).is_none());
+        assert!(read_u64(&[]).is_none());
+    }
+
+    #[test]
+    fn overlong_input_is_none() {
+        // Eleven continuation bytes can never be valid.
+        assert!(read_u64(&[0xFF; 11]).is_none());
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(2), 4);
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn i64_varint_round_trips() {
+        for v in [0i64, -64, 63, -8192, 1_000_000, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let (got, n) = read_i64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: every codec in the crate must round-trip
+//! arbitrary inputs bit-exactly, and decoders must never panic on
+//! arbitrary (malformed) inputs.
+
+use proptest::prelude::*;
+use visionsim_compress::bitio::{BitReader, BitWriter};
+use visionsim_compress::lz77;
+use visionsim_compress::lzma_like::{compress, decompress};
+use visionsim_compress::range::{BitModel, RangeDecoder, RangeEncoder};
+use visionsim_compress::rans;
+use visionsim_compress::varint;
+
+proptest! {
+    #[test]
+    fn varint_u64_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let (got, n) = varint::read_u64(&buf).expect("wrote it");
+        prop_assert_eq!(got, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn varint_i64_round_trips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        varint::write_i64(&mut buf, v);
+        let (got, n) = varint::read_i64(&buf).expect("wrote it");
+        prop_assert_eq!(got, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn varint_read_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..20)) {
+        let _ = varint::read_u64(&bytes);
+        let _ = varint::read_i64(&bytes);
+    }
+
+    #[test]
+    fn bitio_round_trips(values in prop::collection::vec((any::<u64>(), 1u8..=64), 0..100)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &values {
+            let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            w.write_bits(masked, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            prop_assert_eq!(r.read_bits(n), Some(masked));
+        }
+    }
+
+    #[test]
+    fn lz77_round_trips(data in prop::collection::vec(any::<u8>(), 0..4_000)) {
+        let tokens = lz77::tokenize(&data);
+        prop_assert_eq!(lz77::detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn lz77_round_trips_repetitive(
+        unit in prop::collection::vec(any::<u8>(), 1..20),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let tokens = lz77::tokenize(&data);
+        prop_assert_eq!(lz77::detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn lzma_like_round_trips(data in prop::collection::vec(any::<u8>(), 0..3_000)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).expect("own output"), data);
+    }
+
+    #[test]
+    fn lzma_like_decompress_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decompress(&garbage);
+    }
+
+    #[test]
+    fn rans_round_trips(data in prop::collection::vec(any::<u8>(), 0..3_000)) {
+        let packed = rans::encode(&data);
+        prop_assert_eq!(rans::decode(&packed).expect("own output"), data);
+    }
+
+    #[test]
+    fn rans_decode_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = rans::decode(&garbage);
+    }
+
+    #[test]
+    fn range_coder_round_trips_bit_patterns(bits in prop::collection::vec(any::<bool>(), 0..2_000)) {
+        let mut enc = RangeEncoder::new();
+        let mut m = BitModel::new();
+        for &b in &bits {
+            enc.encode_bit(&mut m, b);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).expect("5-byte preamble");
+        let mut m = BitModel::new();
+        for &b in &bits {
+            prop_assert_eq!(dec.decode_bit(&mut m), b);
+        }
+    }
+
+    /// Compressing already-compressed data must still round-trip (the
+    /// classic double-compression stress).
+    #[test]
+    fn double_compression_round_trips(data in prop::collection::vec(any::<u8>(), 0..1_000)) {
+        let once = compress(&data);
+        let twice = compress(&once);
+        let back_once = decompress(&twice).expect("own output");
+        prop_assert_eq!(&back_once, &once);
+        prop_assert_eq!(decompress(&back_once).expect("own output"), data);
+    }
+}

@@ -1,0 +1,32 @@
+//! # visionsim-core
+//!
+//! Foundation layer for the `visionsim` workspace: a deterministic,
+//! discrete-event simulation substrate used by every other crate.
+//!
+//! The design follows the event-driven, sans-IO ethos of embedded network
+//! stacks: all state is explicit, there is no wall-clock dependence, and a
+//! simulation seeded with the same [`rng::SimRng`] seed replays identically.
+//!
+//! Modules:
+//! * [`time`] — virtual clock ([`time::SimTime`]) with nanosecond resolution.
+//! * [`units`] — data sizes ([`units::ByteSize`]) and rates ([`units::DataRate`]).
+//! * [`rng`] — seeded RNG with the distribution samplers the simulator needs
+//!   (normal, lognormal, exponential, Pareto) implemented in-tree.
+//! * [`event`] — a monotone event queue with deterministic FIFO tie-breaking.
+//! * [`stats`] — streaming summary statistics, exact percentiles, and the
+//!   boxplot summaries used by the paper's figures.
+//! * [`series`] — time-series recording (e.g. throughput over a session).
+
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use series::{RateSeries, TimeSeries};
+pub use stats::{BoxplotSummary, Percentiles, StreamingStats};
+pub use time::{SimDuration, SimTime};
+pub use units::{ByteSize, DataRate};

@@ -1,0 +1,265 @@
+//! Deterministic random-number generation for the simulator.
+//!
+//! [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds the distribution
+//! samplers the workspace needs (normal, lognormal, exponential, Pareto,
+//! jittered values). Implementing the samplers in-tree keeps the dependency
+//! surface to `rand` itself and makes the sampling algorithms part of the
+//! reviewed reproduction code.
+//!
+//! Every stochastic component takes a `&mut SimRng` explicitly; nothing in
+//! the workspace reads ambient entropy, so a run is a pure function of its
+//! seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, seedable random source.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child generator. Useful for giving each
+    /// subsystem its own stream so that adding draws in one subsystem does
+    /// not perturb another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.gen())
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if `lo > hi`; returns `lo` when equal.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform_range: lo {lo} > hi {hi}");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_u64: lo {lo} > hi {hi}");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Standard normal via the Marsaglia polar method.
+    pub fn std_normal(&mut self) -> f64 {
+        loop {
+            let u = self.uniform_range(-1.0, 1.0);
+            let v = self.uniform_range(-1.0, 1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Normal with the given mean and (non-negative) standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "normal: negative std_dev {std_dev}");
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Normal truncated below at `floor` (resampled via clamping — adequate
+    /// for the mild truncations used by the cost models).
+    pub fn normal_clamped_min(&mut self, mean: f64, std_dev: f64, floor: f64) -> f64 {
+        self.normal(mean, std_dev).max(floor)
+    }
+
+    /// Lognormal parameterized by the *underlying* normal's mu/sigma.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential with the given mean (> 0).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential: non-positive mean {mean}");
+        let u: f64 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Pareto with scale `x_min` (> 0) and shape `alpha` (> 0); heavy-tailed
+    /// samples used for burst modelling.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "pareto: bad params");
+        let u: f64 = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// A value multiplicatively jittered by ±`frac` (uniform). `frac` of
+    /// 0.1 yields a value in `[0.9v, 1.1v)`.
+    pub fn jitter(&mut self, value: f64, frac: f64) -> f64 {
+        value * (1.0 + self.uniform_range(-frac, frac))
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_parent_draw_count() {
+        let mut a = SimRng::seed_from_u64(9);
+        let child_seed_stream: Vec<u64> = {
+            let mut c = a.fork();
+            (0..5).map(|_| c.next_u64()).collect()
+        };
+        // Forking again gives a *different* child.
+        let mut c2 = a.fork();
+        let other: Vec<u64> = (0..5).map(|_| c2.next_u64()).collect();
+        assert_ne!(child_seed_stream, other);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean_is_sane() {
+        let mut r = SimRng::seed_from_u64(43);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::seed_from_u64(44);
+        for _ in 0..1_000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(45);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = SimRng::seed_from_u64(46);
+        for _ in 0..1_000 {
+            let v = r.jitter(10.0, 0.2);
+            assert!((8.0..12.0).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::seed_from_u64(47);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_range_degenerate() {
+        let mut r = SimRng::seed_from_u64(48);
+        assert_eq!(r.uniform_range(3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn normal_clamped_min_floors() {
+        let mut r = SimRng::seed_from_u64(49);
+        for _ in 0..1_000 {
+            assert!(r.normal_clamped_min(0.0, 5.0, 0.0) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Data sizes and data rates.
+//!
+//! The paper reports throughput in Mbps and payload sizes in bytes; mixing
+//! the two up (or bits with bytes) is the classic measurement bug, so both
+//! get newtypes. [`DataRate`] is stored in bits per second, [`ByteSize`] in
+//! bytes, and conversions between them go through explicit methods that
+//! involve a [`SimDuration`].
+
+use crate::time::SimDuration;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A size in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+/// A data rate in bits per second.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DataRate(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from a byte count.
+    pub const fn from_bytes(b: u64) -> Self {
+        ByteSize(b)
+    }
+
+    /// Construct from kilobytes (10^3 bytes).
+    pub const fn from_kb(kb: u64) -> Self {
+        ByteSize(kb * 1_000)
+    }
+
+    /// Construct from megabytes (10^6 bytes).
+    pub const fn from_mb(mb: u64) -> Self {
+        ByteSize(mb * 1_000_000)
+    }
+
+    /// The raw byte count.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The size in bits.
+    pub const fn as_bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// The size in fractional kilobytes.
+    pub fn as_kb_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The size in fractional megabytes.
+    pub fn as_mb_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The average rate achieved by moving this many bytes in `dt`.
+    /// Returns [`DataRate::ZERO`] for a zero interval.
+    pub fn rate_over(self, dt: SimDuration) -> DataRate {
+        if dt.is_zero() {
+            return DataRate::ZERO;
+        }
+        DataRate::from_bps_f64(self.as_bits() as f64 / dt.as_secs_f64())
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+}
+
+impl DataRate {
+    /// Zero bits per second.
+    pub const ZERO: DataRate = DataRate(0);
+
+    /// Construct from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        DataRate(bps)
+    }
+
+    /// Construct from kilobits per second.
+    pub const fn from_kbps(kbps: u64) -> Self {
+        DataRate(kbps * 1_000)
+    }
+
+    /// Construct from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        DataRate(mbps * 1_000_000)
+    }
+
+    /// Construct from fractional megabits per second.
+    pub fn from_mbps_f64(mbps: f64) -> Self {
+        DataRate((mbps.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Construct from fractional bits per second.
+    pub fn from_bps_f64(bps: f64) -> Self {
+        DataRate(bps.max(0.0).round() as u64)
+    }
+
+    /// Raw bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional kilobits per second.
+    pub fn as_kbps_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Fractional megabits per second.
+    pub fn as_mbps_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time needed to serialize `size` at this rate.
+    /// Returns `None` for a zero rate (the transfer never completes).
+    pub fn transmit_time(self, size: ByteSize) -> Option<SimDuration> {
+        if self.0 == 0 {
+            return None;
+        }
+        Some(SimDuration::from_secs_f64(
+            size.as_bits() as f64 / self.0 as f64,
+        ))
+    }
+
+    /// Bytes transferred in `dt` at this rate (floor).
+    pub fn bytes_in(self, dt: SimDuration) -> ByteSize {
+        ByteSize((self.0 as f64 * dt.as_secs_f64() / 8.0).floor() as u64)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0 + other.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, other: ByteSize) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0 - other.0)
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, k: u64) -> ByteSize {
+        ByteSize(self.0 * k)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl Add for DataRate {
+    type Output = DataRate;
+    fn add(self, other: DataRate) -> DataRate {
+        DataRate(self.0 + other.0)
+    }
+}
+
+impl AddAssign for DataRate {
+    fn add_assign(&mut self, other: DataRate) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for DataRate {
+    type Output = DataRate;
+    fn sub(self, other: DataRate) -> DataRate {
+        DataRate(self.0 - other.0)
+    }
+}
+
+impl Mul<u64> for DataRate {
+    type Output = DataRate;
+    fn mul(self, k: u64) -> DataRate {
+        DataRate(self.0 * k)
+    }
+}
+
+impl Div<u64> for DataRate {
+    type Output = DataRate;
+    fn div(self, k: u64) -> DataRate {
+        DataRate(self.0 / k)
+    }
+}
+
+impl Sum for DataRate {
+    fn sum<I: Iterator<Item = DataRate>>(iter: I) -> DataRate {
+        iter.fold(DataRate::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}MB", self.as_mb_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}KB", self.as_kb_f64())
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Mbps", self.as_mbps_f64())
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}Mbps", self.as_mbps_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}Kbps", self.as_kbps_f64())
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_conversions() {
+        assert_eq!(ByteSize::from_kb(2).as_bytes(), 2_000);
+        assert_eq!(ByteSize::from_mb(1).as_bits(), 8_000_000);
+        assert_eq!(ByteSize::from_bytes(1_500).as_kb_f64(), 1.5);
+    }
+
+    #[test]
+    fn rate_conversions() {
+        assert_eq!(DataRate::from_mbps(4).as_bps(), 4_000_000);
+        assert_eq!(DataRate::from_kbps(700).as_mbps_f64(), 0.7);
+    }
+
+    #[test]
+    fn transmit_time_matches_hand_math() {
+        // 1500 bytes at 12 Mbps = 12000 bits / 12e6 bps = 1 ms.
+        let t = DataRate::from_mbps(12)
+            .transmit_time(ByteSize::from_bytes(1_500))
+            .unwrap();
+        assert_eq!(t, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn zero_rate_never_completes() {
+        assert!(DataRate::ZERO
+            .transmit_time(ByteSize::from_bytes(1))
+            .is_none());
+    }
+
+    #[test]
+    fn rate_over_inverts_bytes_in() {
+        let rate = DataRate::from_mbps(8);
+        let dt = SimDuration::from_secs(2);
+        let moved = rate.bytes_in(dt);
+        assert_eq!(moved, ByteSize::from_mb(2));
+        let back = moved.rate_over(dt);
+        assert_eq!(back, rate);
+    }
+
+    #[test]
+    fn rate_over_zero_interval_is_zero() {
+        assert_eq!(
+            ByteSize::from_mb(1).rate_over(SimDuration::ZERO),
+            DataRate::ZERO
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", DataRate::from_kbps(640)), "640.00Kbps");
+        assert_eq!(format!("{}", ByteSize::from_bytes(78)), "78B");
+        assert_eq!(format!("{}", DataRate::from_mbps_f64(0.67)), "670.00Kbps");
+        assert_eq!(format!("{}", DataRate::from_mbps_f64(4.2)), "4.20Mbps");
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let total: ByteSize = (1..=4).map(ByteSize::from_kb).sum();
+        assert_eq!(total, ByteSize::from_kb(10));
+        let r: DataRate = vec![DataRate::from_mbps(1); 3].into_iter().sum();
+        assert_eq!(r, DataRate::from_mbps(3));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the core substrate.
+
+use proptest::prelude::*;
+use visionsim_core::event::EventQueue;
+use visionsim_core::stats::{Percentiles, StreamingStats};
+use visionsim_core::time::{SimDuration, SimTime};
+use visionsim_core::units::{ByteSize, DataRate};
+
+proptest! {
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(samples in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let mut p = Percentiles::from_samples(samples.clone());
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 100.0] {
+            let v = p.percentile(q);
+            prop_assert!(v >= last - 1e-9, "non-monotone at {q}");
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            last = v;
+        }
+    }
+
+    /// Welford streaming stats agree with the two-pass computation.
+    #[test]
+    fn streaming_stats_match_two_pass(samples in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = StreamingStats::new();
+        for &x in &samples {
+            s.push(x);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.std_dev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+    }
+
+    /// Merging two accumulators equals accumulating the concatenation.
+    #[test]
+    fn streaming_merge_is_concatenation(
+        a in prop::collection::vec(-1e6f64..1e6, 1..100),
+        b in prop::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let mut sa = StreamingStats::new();
+        for &x in &a { sa.push(x); }
+        let mut sb = StreamingStats::new();
+        for &x in &b { sb.push(x); }
+        let mut all = StreamingStats::new();
+        for &x in a.iter().chain(&b) { all.push(x); }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), all.count());
+        prop_assert!((sa.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        prop_assert!((sa.std_dev() - all.std_dev()).abs() < 1e-5 * (1.0 + all.std_dev()));
+    }
+
+    /// The event queue pops every scheduled event exactly once, in
+    /// non-decreasing time order, with FIFO tie-breaking.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = (SimTime::ZERO, 0usize);
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last.0, "time went backwards");
+            if ev.at == last.0 && !popped.is_empty() {
+                prop_assert!(ev.payload > last.1, "FIFO tie-break violated");
+            }
+            last = (ev.at, ev.payload);
+            popped.push(ev.payload);
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// transmit_time and bytes_in are mutually consistent.
+    #[test]
+    fn rate_time_size_consistency(mbps in 1u64..10_000, kb in 1u64..100_000) {
+        let rate = DataRate::from_mbps(mbps);
+        let size = ByteSize::from_kb(kb);
+        let t = rate.transmit_time(size).expect("positive rate");
+        let back = rate.bytes_in(t);
+        // Rounding to nanoseconds loses at most a few bytes.
+        let diff = size.as_bytes().abs_diff(back.as_bytes());
+        prop_assert!(diff <= 1 + rate.as_bps() / 8 / 1_000_000, "diff {diff}");
+    }
+
+    /// Duration arithmetic: (a + b) - b == a.
+    #[test]
+    fn duration_add_sub_inverse(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db) - db, da);
+    }
+}

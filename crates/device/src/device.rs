@@ -1,0 +1,120 @@
+//! Device kinds and capabilities.
+
+use std::fmt;
+
+/// The endpoint devices used in the paper's testbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Apple Vision Pro (video see-through MR headset, 90 FPS target).
+    VisionPro,
+    /// MacBook (laptop).
+    MacBook,
+    /// iPad (tablet).
+    IPad,
+    /// iPhone (phone).
+    IPhone,
+}
+
+impl DeviceKind {
+    /// All kinds the testbed uses.
+    pub const ALL: [DeviceKind; 4] = [
+        DeviceKind::VisionPro,
+        DeviceKind::MacBook,
+        DeviceKind::IPad,
+        DeviceKind::IPhone,
+    ];
+
+    /// Only Vision Pro can capture a spatial persona (TrueDepth
+    /// pre-capture + live face/eye tracking) and render others' spatial
+    /// personas.
+    pub fn supports_spatial_persona(&self) -> bool {
+        matches!(self, DeviceKind::VisionPro)
+    }
+
+    /// Display refresh target, FPS.
+    pub fn display_fps(&self) -> u32 {
+        match self {
+            DeviceKind::VisionPro => 90,
+            DeviceKind::MacBook | DeviceKind::IPad | DeviceKind::IPhone => 60,
+        }
+    }
+
+    /// True for the headset (video see-through pipeline applies).
+    pub fn is_headset(&self) -> bool {
+        matches!(self, DeviceKind::VisionPro)
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DeviceKind::VisionPro => "Vision Pro",
+            DeviceKind::MacBook => "MacBook",
+            DeviceKind::IPad => "iPad",
+            DeviceKind::IPhone => "iPhone",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A concrete device owned by a participant.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// What it is.
+    pub kind: DeviceKind,
+    /// Display label ("U1's Vision Pro").
+    pub label: String,
+}
+
+impl Device {
+    /// Construct a labelled device.
+    pub fn new(kind: DeviceKind, label: &str) -> Self {
+        Device {
+            kind,
+            label: label.to_string(),
+        }
+    }
+}
+
+/// True when *every* device in a session is a Vision Pro — the condition
+/// under which FaceTime uses spatial personas over its QUIC transport
+/// (§4.1).
+pub fn all_vision_pro(devices: &[Device]) -> bool {
+    !devices.is_empty() && devices.iter().all(|d| d.kind == DeviceKind::VisionPro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_vision_pro_supports_spatial_persona() {
+        assert!(DeviceKind::VisionPro.supports_spatial_persona());
+        for k in [DeviceKind::MacBook, DeviceKind::IPad, DeviceKind::IPhone] {
+            assert!(!k.supports_spatial_persona(), "{k}");
+        }
+    }
+
+    #[test]
+    fn vision_pro_targets_90fps() {
+        assert_eq!(DeviceKind::VisionPro.display_fps(), 90);
+        assert_eq!(DeviceKind::MacBook.display_fps(), 60);
+    }
+
+    #[test]
+    fn all_vision_pro_predicate() {
+        let avp = |l: &str| Device::new(DeviceKind::VisionPro, l);
+        assert!(all_vision_pro(&[avp("U1"), avp("U2")]));
+        assert!(!all_vision_pro(&[
+            avp("U1"),
+            Device::new(DeviceKind::MacBook, "U2")
+        ]));
+        assert!(!all_vision_pro(&[]));
+    }
+
+    #[test]
+    fn headset_classification() {
+        assert!(DeviceKind::VisionPro.is_headset());
+        assert!(!DeviceKind::IPhone.is_headset());
+    }
+}

@@ -1,0 +1,25 @@
+//! # visionsim-device
+//!
+//! Endpoint device models. The paper's testbed pairs a Vision Pro (U1)
+//! with a second device that is either another Vision Pro, a MacBook, an
+//! iPad, or an iPhone — the device mix determines which persona type and
+//! transport FaceTime uses (§4.1). This crate models:
+//!
+//! * [`device`] — device kinds and capabilities (only Vision Pro can
+//!   capture *and* render spatial personas);
+//! * [`cameras`] — the Vision Pro camera suite of Figure 2 and the persona
+//!   capture pipeline (TrueDepth pre-capture offline, downward cameras for
+//!   live face tracking, internal cameras for eye tracking);
+//! * [`display`] — the video see-through display pipeline and the
+//!   display-latency measurement of §4.3: with local reconstruction, the
+//!   latency difference between real-world objects and the persona is
+//!   bounded by one frame regardless of network delay; with remote
+//!   (pre-rendered) delivery it tracks the RTT.
+
+pub mod cameras;
+pub mod device;
+pub mod display;
+
+pub use cameras::{CameraKind, CameraSuite, PersonaCapturePipeline};
+pub use device::{Device, DeviceKind};
+pub use display::{DeliveryMode, DisplayModel};

@@ -1,0 +1,81 @@
+//! Regenerate every table and figure of the paper in one run.
+//!
+//! ```sh
+//! cargo run --release -p visionsim-experiments --bin regenerate
+//! ```
+
+use visionsim_experiments::*;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024u64);
+    println!("=== visionsim: regenerating all paper artifacts (seed {seed}) ===\n");
+
+    println!("--- Table 1 ---");
+    let t1 = table1::run(10, seed);
+    println!("{t1}");
+    println!("max σ = {:.2} ms (paper: <7 ms)\n", t1.max_std());
+
+    println!("--- Figure 4 ---");
+    println!("{}", figure4::run(3, 30, seed));
+
+    println!("--- §4.3: What is being delivered? ---");
+    println!("{}", mesh_streaming::run(6, seed));
+    println!("{}", display_latency::run(500, seed));
+    println!("{}", keypoint_rate::run(2_000, seed));
+    println!("{}", rate_adaptation::run(15, seed));
+
+    println!("--- Figure 5 ---");
+    println!("{}", figure5::run(500, seed));
+
+    println!("--- §4.1 server discovery (methodology) ---");
+    println!("{}", discovery::run(24, 5, seed));
+
+    println!("--- §4.1 protocols ---");
+    println!("{}", protocols::run(10, seed));
+
+    println!("--- Motion-to-photon vs placement ---");
+    println!("{}", motion_to_photon::run(15, seed));
+
+    println!("--- Figure 6 ---");
+    println!("{}", figure6::run(30, seed));
+
+    println!("--- Ablations ---");
+    let coder = ablations::entropy_coder(200_000, seed);
+    println!(
+        "entropy coder on {} B residuals: rANS {} B vs LZ+range {} B",
+        coder.input_len, coder.rans_len, coder.lzma_len
+    );
+    let delta = ablations::delta_coding(900, seed);
+    println!(
+        "semantic coding: absolute {:.2} Mbps vs delta {:.2} Mbps ({:.1}x for loss resilience)",
+        delta.absolute_mbps,
+        delta.delta_mbps,
+        delta.absolute_bytes / delta.delta_bytes
+    );
+    for p in ablations::foveation_granularity(2_000, seed) {
+        println!(
+            "foveation ±{:>4.1}° → {:>7.0} mean triangles/frame",
+            p.fovea_deg, p.mean_triangles
+        );
+    }
+    let placement = ablations::placement();
+    println!(
+        "placement: initiator-near worst RTT {:.0} ms vs geo-distributed {:.0} ms",
+        placement.initiator_worst_rtt_ms, placement.geo_worst_rtt_ms
+    );
+    let culling = ablations::semantic_culling(5_000, seed);
+    println!(
+        "visibility-aware delivery: {:.0}% uplink saving available",
+        culling.saving_percent
+    );
+
+    println!("\n--- Extensions (beyond the measured system) ---");
+    println!("{}", extensions::format_fec(&extensions::fec_under_loss(500, 2_000, seed)));
+    println!(
+        "{}",
+        extensions::format_beyond_five(&extensions::beyond_five_users(15, seed))
+    );
+}

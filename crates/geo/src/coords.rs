@@ -1,0 +1,105 @@
+//! Geographic coordinates and great-circle geometry.
+
+use std::fmt;
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6_371.008_8;
+
+/// A point on the Earth's surface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east, in `[-180, 180]`.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point, validating ranges.
+    ///
+    /// # Panics
+    /// If latitude or longitude is outside its valid range or non-finite.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!(
+            lat_deg.is_finite() && (-90.0..=90.0).contains(&lat_deg),
+            "invalid latitude {lat_deg}"
+        );
+        assert!(
+            lon_deg.is_finite() && (-180.0..=180.0).contains(&lon_deg),
+            "invalid longitude {lon_deg}"
+        );
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf() -> GeoPoint {
+        GeoPoint::new(37.7749, -122.4194)
+    }
+    fn nyc() -> GeoPoint {
+        GeoPoint::new(40.7128, -74.0060)
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        assert!(sf().distance_km(&sf()) < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert!((sf().distance_km(&nyc()) - nyc().distance_km(&sf())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sf_to_nyc_is_about_4130_km() {
+        let d = sf().distance_km(&nyc());
+        assert!((d - 4_130.0).abs() < 20.0, "d = {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_KM).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid latitude")]
+    fn rejects_bad_latitude() {
+        GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid longitude")]
+    fn rejects_bad_longitude() {
+        GeoPoint::new(0.0, 200.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let chi = GeoPoint::new(41.8781, -87.6298);
+        let direct = sf().distance_km(&nyc());
+        let via = sf().distance_km(&chi) + chi.distance_km(&nyc());
+        assert!(direct <= via + 1e-6);
+    }
+}

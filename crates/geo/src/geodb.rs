@@ -1,0 +1,186 @@
+//! Geolocation database substitute.
+//!
+//! The paper geolocates the servers it discovers with MaxMind and
+//! ipinfo.io. The simulator's analogue: every simulated endpoint carries a
+//! synthetic [`NetAddr`], and [`GeoDb`] maps registered addresses back to a
+//! [`GeoRecord`] (org + city + region). Address blocks are allocated
+//! per-region so that classifiers can also fall back to prefix heuristics,
+//! as real geo-IP databases do.
+
+use crate::coords::GeoPoint;
+use crate::regions::Region;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A synthetic IPv4-style address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetAddr(pub u32);
+
+impl NetAddr {
+    /// The /8 prefix octet.
+    pub fn prefix(&self) -> u8 {
+        (self.0 >> 24) as u8
+    }
+}
+
+impl fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            o >> 24,
+            (o >> 16) & 0xff,
+            (o >> 8) & 0xff,
+            o & 0xff
+        )
+    }
+}
+
+/// What a geolocation lookup returns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeoRecord {
+    /// Owning organization ("Apple Inc.", "Zoom Video", ...).
+    pub org: String,
+    /// City name.
+    pub city: String,
+    /// Location.
+    pub location: GeoPoint,
+    /// Region classification.
+    pub region: Region,
+}
+
+/// Region-coded /8 prefixes for synthetic address allocation.
+fn region_prefix(region: Region) -> u8 {
+    match region {
+        Region::UsWest => 13,
+        Region::UsMiddle => 23,
+        Region::UsEast => 34,
+        Region::Europe => 82,
+        Region::AsiaEast => 110,
+    }
+}
+
+/// A registry of address → record mappings with per-region allocation.
+#[derive(Clone, Debug, Default)]
+pub struct GeoDb {
+    records: BTreeMap<NetAddr, GeoRecord>,
+    next_host: BTreeMap<u8, u32>,
+}
+
+impl GeoDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        GeoDb::default()
+    }
+
+    /// Allocate a fresh address in the region-coded block for `location`
+    /// and register it.
+    pub fn allocate(&mut self, org: &str, city: &str, location: GeoPoint) -> NetAddr {
+        let region = Region::of(&location);
+        let prefix = region_prefix(region);
+        let host = self.next_host.entry(prefix).or_insert(1);
+        let addr = NetAddr(((prefix as u32) << 24) | *host);
+        *host += 1;
+        self.records.insert(
+            addr,
+            GeoRecord {
+                org: org.to_string(),
+                city: city.to_string(),
+                location,
+                region,
+            },
+        );
+        addr
+    }
+
+    /// Look up a registered address.
+    pub fn lookup(&self, addr: NetAddr) -> Option<&GeoRecord> {
+        self.records.get(&addr)
+    }
+
+    /// Prefix-only fallback (region inference without a full record), as
+    /// real geo-IP databases degrade to when a /32 is unknown.
+    pub fn region_of_prefix(&self, addr: NetAddr) -> Option<Region> {
+        Region::ALL
+            .into_iter()
+            .find(|r| region_prefix(*r) == addr.prefix())
+    }
+
+    /// Number of registered addresses.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no addresses are registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All registered addresses whose org matches `org`.
+    pub fn addrs_of_org(&self, org: &str) -> Vec<NetAddr> {
+        self.records
+            .iter()
+            .filter(|(_, r)| r.org == org)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_registers_and_looks_up() {
+        let mut db = GeoDb::new();
+        let sf = GeoPoint::new(37.7749, -122.4194);
+        let a = db.allocate("Apple Inc.", "San Francisco", sf);
+        let rec = db.lookup(a).unwrap();
+        assert_eq!(rec.org, "Apple Inc.");
+        assert_eq!(rec.region, Region::UsWest);
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let mut db = GeoDb::new();
+        let p = GeoPoint::new(41.88, -87.63);
+        let a = db.allocate("X", "Chicago", p);
+        let b = db.allocate("Y", "Chicago", p);
+        assert_ne!(a, b);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn prefixes_encode_regions() {
+        let mut db = GeoDb::new();
+        let west = db.allocate("X", "SF", GeoPoint::new(37.77, -122.42));
+        let east = db.allocate("X", "NYC", GeoPoint::new(40.71, -74.01));
+        assert_ne!(west.prefix(), east.prefix());
+        assert_eq!(db.region_of_prefix(west), Some(Region::UsWest));
+        assert_eq!(db.region_of_prefix(east), Some(Region::UsEast));
+    }
+
+    #[test]
+    fn unknown_lookup_is_none() {
+        let db = GeoDb::new();
+        assert!(db.lookup(NetAddr(0x7f000001)).is_none());
+        assert!(db.region_of_prefix(NetAddr(0x7f000001)).is_none());
+    }
+
+    #[test]
+    fn org_query_filters() {
+        let mut db = GeoDb::new();
+        let p = GeoPoint::new(37.77, -122.42);
+        db.allocate("Apple Inc.", "SF", p);
+        db.allocate("Zoom Video", "SF", p);
+        db.allocate("Apple Inc.", "SF", p);
+        assert_eq!(db.addrs_of_org("Apple Inc.").len(), 2);
+        assert_eq!(db.addrs_of_org("Zoom Video").len(), 1);
+    }
+
+    #[test]
+    fn display_is_dotted_quad() {
+        assert_eq!(format!("{}", NetAddr(0x0d000001)), "13.0.0.1");
+    }
+}

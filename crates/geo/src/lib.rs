@@ -1,0 +1,27 @@
+//! # visionsim-geo
+//!
+//! Geography substrate for the telepresence simulator: coordinates and
+//! great-circle distance, the region taxonomy the paper uses (Western /
+//! Middle / Eastern US, plus intercontinental regions for the §4.1
+//! discussion), a registry of vantage cities and provider server sites, a
+//! latency/propagation model, and a MaxMind-style geolocation database
+//! substitute.
+//!
+//! The paper's Table 1 measures RTT between three test users (one per US
+//! region) and each provider's US server fleet. Everything needed to
+//! regenerate that table from mechanism — city coordinates, fiber
+//! propagation speed, route inflation, access overhead — lives here.
+
+pub mod cities;
+pub mod coords;
+pub mod geodb;
+pub mod propagation;
+pub mod regions;
+pub mod sites;
+
+pub use cities::City;
+pub use coords::GeoPoint;
+pub use geodb::{GeoDb, GeoRecord, NetAddr};
+pub use propagation::{LatencyModel, PathLatency};
+pub use regions::Region;
+pub use sites::{Provider, ServerSite, SiteRegistry};

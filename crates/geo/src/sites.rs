@@ -1,0 +1,244 @@
+//! Provider server-site inventory.
+//!
+//! §4.1: "FaceTime, Zoom, Webex, and Teams operate four, two, three, and one
+//! server(s) in the US, respectively." The registry reproduces those fleets
+//! at plausible datacenter locations, labelled the way Table 1 labels them
+//! (W / M1 / M2 / E). It also offers a geo-distributed fleet implementing
+//! the paper's proposed fix (each client connects to a nearby server, with
+//! inter-server links on a private backbone).
+
+use crate::cities::City;
+use crate::coords::GeoPoint;
+use crate::regions::Region;
+use std::fmt;
+
+/// A videoconferencing provider under study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Provider {
+    /// Apple FaceTime.
+    FaceTime,
+    /// Zoom Meetings.
+    Zoom,
+    /// Cisco Webex.
+    Webex,
+    /// Microsoft Teams.
+    Teams,
+}
+
+impl Provider {
+    /// All four providers, in the paper's column order.
+    pub const ALL: [Provider; 4] = [
+        Provider::FaceTime,
+        Provider::Zoom,
+        Provider::Webex,
+        Provider::Teams,
+    ];
+
+    /// Fixed per-provider server processing overhead added to every RTT
+    /// sample, in milliseconds. Calibrated so that same-region RTTs land in
+    /// the bands of Table 1 (Teams' noticeably higher same-region RTT is
+    /// modelled as edge-distant placement plus heavier frontend processing).
+    pub fn server_overhead_ms(&self) -> f64 {
+        match self {
+            Provider::FaceTime => 2.0,
+            Provider::Zoom => 3.5,
+            Provider::Webex => 2.5,
+            Provider::Teams => 6.0,
+        }
+    }
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Provider::FaceTime => "FaceTime",
+            Provider::Zoom => "Zoom",
+            Provider::Webex => "Webex",
+            Provider::Teams => "Teams",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One provider server site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServerSite {
+    /// Owning provider.
+    pub provider: Provider,
+    /// Table 1 column label ("W", "M1", "M2", "E", "M").
+    pub label: &'static str,
+    /// Datacenter city.
+    pub city: City,
+}
+
+impl ServerSite {
+    /// The region the site sits in.
+    pub fn region(&self) -> Region {
+        self.city.region()
+    }
+
+    /// Site location.
+    pub fn location(&self) -> GeoPoint {
+        self.city.location
+    }
+}
+
+const fn site(provider: Provider, label: &'static str, name: &'static str, lat: f64, lon: f64) -> ServerSite {
+    ServerSite {
+        provider,
+        label,
+        city: City {
+            name,
+            location: GeoPoint {
+                lat_deg: lat,
+                lon_deg: lon,
+            },
+        },
+    }
+}
+
+/// The per-provider US fleets observed by the paper.
+#[derive(Clone, Debug)]
+pub struct SiteRegistry {
+    sites: Vec<ServerSite>,
+}
+
+impl Default for SiteRegistry {
+    fn default() -> Self {
+        Self::us_fleet()
+    }
+}
+
+impl SiteRegistry {
+    /// The US server fleets as counted in §4.1: FaceTime 4, Zoom 2,
+    /// Webex 3, Teams 1.
+    pub fn us_fleet() -> Self {
+        let sites = vec![
+            site(Provider::FaceTime, "W", "San Jose, CA", 37.3382, -121.8863),
+            site(Provider::FaceTime, "M1", "Elk Grove Village, IL", 42.0040, -87.9703),
+            site(Provider::FaceTime, "M2", "Columbus, OH", 39.9612, -82.9988),
+            site(Provider::FaceTime, "E", "Ashburn, VA", 39.0438, -77.4874),
+            site(Provider::Zoom, "W", "San Jose, CA", 37.3382, -121.8863),
+            site(Provider::Zoom, "E", "Ashburn, VA", 39.0438, -77.4874),
+            site(Provider::Webex, "W", "Santa Clara, CA", 37.3541, -121.9552),
+            site(Provider::Webex, "M", "Chicago, IL", 41.8500, -87.6500),
+            site(Provider::Webex, "E", "Richmond, VA", 37.5407, -77.4360),
+            site(Provider::Teams, "W", "Quincy, WA", 47.2343, -119.8526),
+        ];
+        SiteRegistry { sites }
+    }
+
+    /// A hypothetical geo-distributed fleet (the §4.1 proposed fix): one
+    /// site per region for a single provider, used by the placement
+    /// ablation.
+    pub fn geo_distributed(provider: Provider) -> Self {
+        let sites = vec![
+            site(provider, "W", "San Jose, CA", 37.3382, -121.8863),
+            site(provider, "M", "Dallas, TX", 32.7767, -96.7970),
+            site(provider, "E", "Ashburn, VA", 39.0438, -77.4874),
+            site(provider, "EU", "Frankfurt, DE", 50.1109, 8.6821),
+            site(provider, "AS", "Tokyo, JP", 35.6762, 139.6503),
+        ];
+        SiteRegistry { sites }
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[ServerSite] {
+        &self.sites
+    }
+
+    /// Sites owned by `provider`, in registry order (Table 1 column order).
+    pub fn for_provider(&self, provider: Provider) -> Vec<ServerSite> {
+        self.sites
+            .iter()
+            .filter(|s| s.provider == provider)
+            .copied()
+            .collect()
+    }
+
+    /// The site of `provider` geographically closest to `point`. This is
+    /// the assignment the paper observed: "all platforms consistently assign
+    /// a server that is closest to the initiating user."
+    pub fn nearest(&self, provider: Provider, point: &GeoPoint) -> Option<ServerSite> {
+        self.for_provider(provider)
+            .into_iter()
+            .min_by(|a, b| {
+                let da = a.location().distance_km(point);
+                let db = b.location().distance_km(point);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cities;
+
+    #[test]
+    fn fleet_counts_match_section_4_1() {
+        let reg = SiteRegistry::us_fleet();
+        assert_eq!(reg.for_provider(Provider::FaceTime).len(), 4);
+        assert_eq!(reg.for_provider(Provider::Zoom).len(), 2);
+        assert_eq!(reg.for_provider(Provider::Webex).len(), 3);
+        assert_eq!(reg.for_provider(Provider::Teams).len(), 1);
+    }
+
+    #[test]
+    fn facetime_labels_match_table1_columns() {
+        let labels: Vec<_> = SiteRegistry::us_fleet()
+            .for_provider(Provider::FaceTime)
+            .iter()
+            .map(|s| s.label)
+            .collect();
+        assert_eq!(labels, vec!["W", "M1", "M2", "E"]);
+    }
+
+    #[test]
+    fn nearest_site_for_west_initiator_is_west() {
+        let reg = SiteRegistry::us_fleet();
+        let sf = cities::by_name("San Francisco, CA").unwrap();
+        for p in Provider::ALL {
+            let s = reg.nearest(p, &sf.location).unwrap();
+            assert_eq!(s.region(), Region::UsWest, "{p}");
+        }
+    }
+
+    #[test]
+    fn nearest_site_for_east_initiator_prefers_east_when_available() {
+        let reg = SiteRegistry::us_fleet();
+        let nyc = cities::by_name("New York, NY").unwrap();
+        for p in [Provider::FaceTime, Provider::Zoom, Provider::Webex] {
+            let s = reg.nearest(p, &nyc.location).unwrap();
+            assert_eq!(s.region(), Region::UsEast, "{p}");
+        }
+        // Teams only has one (Western) US site, so even an Eastern
+        // initiator lands on it.
+        let t = reg.nearest(Provider::Teams, &nyc.location).unwrap();
+        assert_eq!(t.region(), Region::UsWest);
+    }
+
+    #[test]
+    fn geo_distributed_covers_regions() {
+        let reg = SiteRegistry::geo_distributed(Provider::FaceTime);
+        let regions: Vec<Region> = reg.sites().iter().map(|s| s.region()).collect();
+        assert!(regions.contains(&Region::UsWest));
+        assert!(regions.contains(&Region::UsMiddle));
+        assert!(regions.contains(&Region::UsEast));
+        assert!(regions.contains(&Region::Europe));
+        assert!(regions.contains(&Region::AsiaEast));
+    }
+
+    #[test]
+    fn provider_overheads_are_positive_and_teams_is_highest() {
+        let mut worst = (Provider::FaceTime, 0.0f64);
+        for p in Provider::ALL {
+            let o = p.server_overhead_ms();
+            assert!(o > 0.0);
+            if o > worst.1 {
+                worst = (p, o);
+            }
+        }
+        assert_eq!(worst.0, Provider::Teams);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for geodesy and the latency model.
+
+use proptest::prelude::*;
+use visionsim_geo::coords::{GeoPoint, EARTH_RADIUS_KM};
+use visionsim_geo::geodb::GeoDb;
+use visionsim_geo::propagation::LatencyModel;
+use visionsim_geo::regions::Region;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..=90.0, -180.0f64..=180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    /// Distance is a metric: non-negative, symmetric, zero iff same point
+    /// (up to fp), and bounded by half the circumference.
+    #[test]
+    fn distance_is_a_metric(a in arb_point(), b in arb_point()) {
+        let d = a.distance_km(&b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - b.distance_km(&a)).abs() < 1e-9);
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+        prop_assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    /// Triangle inequality.
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let direct = a.distance_km(&c);
+        let via = a.distance_km(&b) + b.distance_km(&c);
+        prop_assert!(direct <= via + 1e-6, "{direct} > {via}");
+    }
+
+    /// Every point classifies into exactly one region without panicking.
+    #[test]
+    fn classification_is_total(p in arb_point()) {
+        let r = Region::of(&p);
+        prop_assert!(Region::ALL.contains(&r));
+    }
+
+    /// Path latency: deterministic, symmetric, at least the speed-of-light
+    /// floor, and monotone-boundable by inflation limits.
+    #[test]
+    fn path_latency_bounds(a in arb_point(), b in arb_point(), overhead in 0.0f64..10.0) {
+        let m = LatencyModel::default();
+        let p1 = m.path(&a, &b, overhead);
+        let p2 = m.path(&b, &a, overhead);
+        prop_assert_eq!(p1.inflation, p2.inflation);
+        prop_assert!((p1.base_rtt_ms - p2.base_rtt_ms).abs() < 1e-9);
+        let d = a.distance_km(&b);
+        let floor = 2.0 * d * m.inflation_min / 200_000.0 * 1_000.0 + m.access_overhead_ms + overhead;
+        let ceil = 2.0 * d * m.inflation_max / 200_000.0 * 1_000.0 + m.access_overhead_ms + overhead;
+        prop_assert!(p1.base_rtt_ms >= floor - 1e-6);
+        prop_assert!(p1.base_rtt_ms <= ceil + 1e-6);
+    }
+
+    /// Address allocation: unique addresses, lookups return the right
+    /// record, prefixes encode regions.
+    #[test]
+    fn geodb_allocation_invariants(points in prop::collection::vec(arb_point(), 1..50)) {
+        let mut db = GeoDb::new();
+        let mut addrs = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let a = db.allocate(&format!("org{i}"), "city", *p);
+            prop_assert!(!addrs.contains(&a), "duplicate address");
+            addrs.push(a);
+        }
+        prop_assert_eq!(db.len(), points.len());
+        for (i, (a, p)) in addrs.iter().zip(&points).enumerate() {
+            let rec = db.lookup(*a).expect("registered");
+            prop_assert_eq!(&rec.org, &format!("org{i}"));
+            prop_assert_eq!(rec.region, Region::of(p));
+            prop_assert_eq!(db.region_of_prefix(*a), Some(rec.region));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Level-of-detail decimation.
+//!
+//! Figure 5 shows the persona rendered at several quality levels: the full
+//! 78,030 triangles at one metre, ~45k beyond three metres (distance-aware),
+//! ~21k in peripheral vision (foveated), and a 36-triangle proxy when
+//! outside the viewport. [`decimate_to`] reproduces the mechanism — vertex
+//! clustering on a uniform grid, with the cell size solved by bisection to
+//! land near a requested triangle budget — and [`LodChain`] precomputes the
+//! ladder the renderer switches between.
+
+use crate::geometry::{Aabb, TriangleMesh, Vec3};
+use std::collections::HashMap;
+
+/// Cluster vertices on a uniform grid with `cells` cells along the longest
+/// axis; every vertex in a cell collapses to the cell's average position.
+/// Triangles whose corners merge are dropped.
+pub fn cluster(mesh: &TriangleMesh, cells: usize) -> TriangleMesh {
+    assert!(cells >= 1);
+    let Some(bb) = mesh.bounds() else {
+        return TriangleMesh::empty();
+    };
+    let cell_size = (bb.max_extent() / cells as f32).max(f32::EPSILON);
+    let key = |p: &Vec3| -> (i32, i32, i32) {
+        (
+            ((p.x - bb.min.x) / cell_size).floor() as i32,
+            ((p.y - bb.min.y) / cell_size).floor() as i32,
+            ((p.z - bb.min.z) / cell_size).floor() as i32,
+        )
+    };
+    let mut cell_of_vertex = Vec::with_capacity(mesh.positions.len());
+    let mut cell_index: HashMap<(i32, i32, i32), u32> = HashMap::new();
+    let mut sums: Vec<(Vec3, u32)> = Vec::new();
+    for p in &mesh.positions {
+        let k = key(p);
+        let idx = *cell_index.entry(k).or_insert_with(|| {
+            sums.push((Vec3::ZERO, 0));
+            (sums.len() - 1) as u32
+        });
+        sums[idx as usize].0 = sums[idx as usize].0 + *p;
+        sums[idx as usize].1 += 1;
+        cell_of_vertex.push(idx);
+    }
+    let positions: Vec<Vec3> = sums
+        .into_iter()
+        .map(|(sum, n)| sum * (1.0 / n as f32))
+        .collect();
+    let mut triangles = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for t in &mesh.triangles {
+        let a = cell_of_vertex[t[0] as usize];
+        let b = cell_of_vertex[t[1] as usize];
+        let c = cell_of_vertex[t[2] as usize];
+        if a == b || b == c || a == c {
+            continue;
+        }
+        // Deduplicate triangles that collapse onto each other.
+        let mut k = [a, b, c];
+        k.sort_unstable();
+        if seen.insert(k) {
+            triangles.push([a, b, c]);
+        }
+    }
+    TriangleMesh {
+        positions,
+        triangles,
+    }
+}
+
+/// Decimate `mesh` to approximately `target_triangles` by bisecting the
+/// clustering resolution. Returns the closest achieved level (clustering is
+/// quantized, so the landing error is typically a few percent).
+pub fn decimate_to(mesh: &TriangleMesh, target_triangles: usize) -> TriangleMesh {
+    if target_triangles >= mesh.triangle_count() {
+        return mesh.clone();
+    }
+    if target_triangles == 0 {
+        return TriangleMesh::empty();
+    }
+    let mut lo = 1usize; // coarsest
+    let mut hi = 2_048usize; // finest we will try
+    let mut best: Option<TriangleMesh> = None;
+    let mut best_err = usize::MAX;
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        let candidate = cluster(mesh, mid);
+        let count = candidate.triangle_count();
+        let err = count.abs_diff(target_triangles);
+        if err < best_err {
+            best_err = err;
+            best = Some(candidate.clone());
+        }
+        if count > target_triangles {
+            hi = mid - 1;
+        } else if count < target_triangles {
+            lo = mid + 1;
+        } else {
+            break;
+        }
+    }
+    best.expect("bisection explored at least one level")
+}
+
+/// A precomputed LOD ladder, finest first.
+#[derive(Clone, Debug)]
+pub struct LodChain {
+    levels: Vec<TriangleMesh>,
+}
+
+impl LodChain {
+    /// Build a chain from `mesh` with the given triangle budgets (the full
+    /// mesh is always level 0; budgets must be strictly decreasing).
+    pub fn build(mesh: &TriangleMesh, budgets: &[usize]) -> Self {
+        let mut prev = mesh.triangle_count();
+        let mut levels = vec![mesh.clone()];
+        for &b in budgets {
+            assert!(b < prev, "budgets must be strictly decreasing");
+            prev = b;
+            levels.push(decimate_to(mesh, b));
+        }
+        LodChain { levels }
+    }
+
+    /// Number of levels (including the full mesh).
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True if the chain is just the full mesh.
+    pub fn is_empty(&self) -> bool {
+        self.levels.len() <= 1
+    }
+
+    /// Level `i` (0 = full detail).
+    pub fn level(&self, i: usize) -> &TriangleMesh {
+        &self.levels[i.min(self.levels.len() - 1)]
+    }
+
+    /// The coarsest level.
+    pub fn coarsest(&self) -> &TriangleMesh {
+        self.levels.last().expect("chain has at least one level")
+    }
+
+    /// Triangle counts per level, finest first.
+    pub fn triangle_counts(&self) -> Vec<usize> {
+        self.levels.iter().map(|m| m.triangle_count()).collect()
+    }
+}
+
+/// Bounding box of a mesh after decimation stays inside (a slightly padded
+/// copy of) the original box — used by tests and the renderer's culling.
+pub fn bounds_contained(inner: &Aabb, outer: &Aabb, pad: f32) -> bool {
+    inner.min.x >= outer.min.x - pad
+        && inner.min.y >= outer.min.y - pad
+        && inner.min.z >= outer.min.z - pad
+        && inner.max.x <= outer.max.x + pad
+        && inner.max.y <= outer.max.y + pad
+        && inner.max.z <= outer.max.z + pad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{head_mesh, PERSONA_TRIANGLES};
+
+    #[test]
+    fn clustering_reduces_triangles() {
+        let m = head_mesh(20_000, 1);
+        let d = cluster(&m, 16);
+        assert!(d.triangle_count() < m.triangle_count() / 4);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn decimate_hits_figure5_budgets_within_tolerance() {
+        let m = head_mesh(PERSONA_TRIANGLES, 1);
+        for target in [45_036usize, 21_036] {
+            let d = decimate_to(&m, target);
+            let got = d.triangle_count();
+            assert!(
+                got.abs_diff(target) * 5 < target,
+                "target {target}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn decimate_to_tiny_proxy_works() {
+        // The out-of-viewport proxy is 36 triangles.
+        let m = head_mesh(PERSONA_TRIANGLES, 1);
+        let d = decimate_to(&m, 36);
+        let got = d.triangle_count();
+        assert!((10..=100).contains(&got), "got {got}");
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn decimate_is_identity_when_target_not_smaller() {
+        let m = head_mesh(5_000, 2);
+        let d = decimate_to(&m, 100_000);
+        assert_eq!(d.triangle_count(), m.triangle_count());
+    }
+
+    #[test]
+    fn decimate_to_zero_is_empty() {
+        let m = head_mesh(5_000, 2);
+        assert_eq!(decimate_to(&m, 0).triangle_count(), 0);
+    }
+
+    #[test]
+    fn decimated_mesh_stays_within_bounds() {
+        let m = head_mesh(PERSONA_TRIANGLES, 3);
+        let outer = m.bounds().unwrap();
+        let d = decimate_to(&m, 20_000);
+        let inner = d.bounds().unwrap();
+        assert!(bounds_contained(&inner, &outer, 1e-4));
+    }
+
+    #[test]
+    fn lod_chain_counts_are_decreasing() {
+        let m = head_mesh(PERSONA_TRIANGLES, 1);
+        let chain = LodChain::build(&m, &[45_036, 21_036, 36]);
+        let counts = chain.triangle_counts();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts[0], PERSONA_TRIANGLES);
+        for w in counts.windows(2) {
+            assert!(w[0] > w[1], "not decreasing: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn lod_level_out_of_range_clamps_to_coarsest() {
+        let m = head_mesh(10_000, 1);
+        let chain = LodChain::build(&m, &[1_000]);
+        assert_eq!(
+            chain.level(99).triangle_count(),
+            chain.coarsest().triangle_count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn lod_chain_rejects_non_decreasing_budgets() {
+        let m = head_mesh(10_000, 1);
+        LodChain::build(&m, &[20_000]);
+    }
+
+    #[test]
+    fn empty_mesh_clusters_to_empty() {
+        let e = TriangleMesh::empty();
+        assert_eq!(cluster(&e, 8).triangle_count(), 0);
+    }
+}

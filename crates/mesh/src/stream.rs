@@ -1,0 +1,141 @@
+//! Mesh streaming rate model.
+//!
+//! Reproduces the §4.3 "Direct 3D Data Streaming" experiment: take head
+//! meshes in the 70k–90k-triangle range, compress each frame with the
+//! Draco-style codec, stream at the display rate (90 FPS on Vision Pro),
+//! and measure the bandwidth. The paper reports 107.4±14.1 Mbps without
+//! texture — two orders of magnitude above the spatial persona's
+//! 0.67 Mbps — and concludes personas are not mesh-streamed. Each frame is
+//! coded independently (as a Draco-per-frame pipeline does): live capture
+//! has no static reference to diff against.
+
+use crate::codec::{encode_mesh, MeshCodecConfig};
+use crate::geometry::TriangleMesh;
+use visionsim_core::rng::SimRng;
+use visionsim_core::stats::StreamingStats;
+use visionsim_core::units::{ByteSize, DataRate};
+
+/// Streams per-frame-compressed meshes at a fixed frame rate.
+#[derive(Clone, Debug)]
+pub struct MeshStreamer {
+    /// Codec configuration.
+    pub config: MeshCodecConfig,
+    /// Frames per second.
+    pub fps: f64,
+}
+
+impl MeshStreamer {
+    /// A streamer at the Vision Pro's 90 FPS target.
+    pub fn at_90fps() -> Self {
+        MeshStreamer {
+            config: MeshCodecConfig::default(),
+            fps: 90.0,
+        }
+    }
+
+    /// Compressed size of one frame.
+    pub fn frame_size(&self, mesh: &TriangleMesh) -> ByteSize {
+        ByteSize::from_bytes(encode_mesh(mesh, &self.config).len() as u64)
+    }
+
+    /// Steady-state bandwidth to stream `mesh` at `self.fps`, assuming
+    /// every frame re-encodes the (possibly deformed) mesh.
+    pub fn stream_rate(&self, mesh: &TriangleMesh) -> DataRate {
+        let bytes = self.frame_size(mesh);
+        DataRate::from_bps_f64(bytes.as_bits() as f64 * self.fps)
+    }
+
+    /// Run the paper's experiment: for each mesh, apply `frames` frames of
+    /// facial-motion deformation (so successive frames differ, as live
+    /// capture does), measure per-mesh stream rate, and return Mbps
+    /// statistics across meshes.
+    pub fn experiment(
+        &self,
+        meshes: &[TriangleMesh],
+        frames: usize,
+        rng: &mut SimRng,
+    ) -> StreamingStats {
+        assert!(!meshes.is_empty() && frames > 0);
+        let mut stats = StreamingStats::new();
+        for mesh in meshes {
+            let mut per_frame = StreamingStats::new();
+            let mut animated = mesh.clone();
+            for _ in 0..frames {
+                deform(&mut animated, mesh, rng);
+                per_frame.push(self.frame_size(&animated).as_bytes() as f64);
+            }
+            let rate_bps = per_frame.mean() * 8.0 * self.fps;
+            stats.push(rate_bps / 1e6);
+        }
+        stats
+    }
+}
+
+/// Apply a small facial-motion-like deformation: low-amplitude random
+/// displacement of every vertex toward/away from the reference surface
+/// (breathing, jaw, brow micro-motion).
+fn deform(mesh: &mut TriangleMesh, reference: &TriangleMesh, rng: &mut SimRng) {
+    let amp = 0.0015f32; // 1.5 mm of facial motion
+    for (p, r) in mesh.positions.iter_mut().zip(&reference.positions) {
+        p.x = r.x + amp * rng.normal(0.0, 1.0) as f32;
+        p.y = r.y + amp * rng.normal(0.0, 1.0) as f32;
+        p.z = r.z + amp * rng.normal(0.0, 1.0) as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::head_mesh;
+
+    #[test]
+    fn persona_scale_mesh_needs_tens_of_mbps() {
+        let streamer = MeshStreamer::at_90fps();
+        let mesh = head_mesh(78_030, 1);
+        let rate = streamer.stream_rate(&mesh).as_mbps_f64();
+        // §4.3 band: far beyond the 0.67 Mbps persona rate. Exact values
+        // depend on coder efficiency; require the two-orders-of-magnitude
+        // gap the paper's argument rests on.
+        assert!(rate > 30.0, "rate {rate} Mbps too low");
+        assert!(rate / 0.67 > 50.0, "gap vs persona too small: {rate}");
+    }
+
+    #[test]
+    fn rate_scales_with_fps() {
+        let mesh = head_mesh(10_000, 1);
+        let at90 = MeshStreamer::at_90fps().stream_rate(&mesh);
+        let mut s30 = MeshStreamer::at_90fps();
+        s30.fps = 30.0;
+        let at30 = s30.stream_rate(&mesh);
+        let ratio = at90.as_bps() as f64 / at30.as_bps() as f64;
+        assert!((ratio - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rate_scales_with_triangle_count() {
+        let streamer = MeshStreamer::at_90fps();
+        let small = streamer.stream_rate(&head_mesh(10_000, 1));
+        let large = streamer.stream_rate(&head_mesh(80_000, 1));
+        assert!(large.as_bps() > small.as_bps() * 4);
+    }
+
+    #[test]
+    fn experiment_reports_stable_statistics() {
+        let streamer = MeshStreamer::at_90fps();
+        let meshes: Vec<_> = (0..3).map(|i| head_mesh(20_000, i)).collect();
+        let mut rng = SimRng::seed_from_u64(1);
+        let stats = streamer.experiment(&meshes, 3, &mut rng);
+        assert_eq!(stats.count(), 3);
+        assert!(stats.mean() > 1.0);
+        // Across same-size heads the spread is modest (paper: ±14 of 107).
+        assert!(stats.std_dev() < stats.mean() * 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn experiment_rejects_empty_input() {
+        let streamer = MeshStreamer::at_90fps();
+        let mut rng = SimRng::seed_from_u64(1);
+        streamer.experiment(&[], 1, &mut rng);
+    }
+}

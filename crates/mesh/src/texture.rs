@@ -1,0 +1,100 @@
+//! Texture cost model for mesh streaming.
+//!
+//! The paper's mesh-streaming measurement is "even without texture" —
+//! i.e. 107 Mbps is a *lower bound* for the mesh-delivery strategy. A
+//! textured persona adds per-vertex UV coordinates to the geometry stream
+//! and a compressed texture image per frame (live capture re-bakes the
+//! texture: faces change). This module models both so the §4.3a
+//! experiment can report the textured upper bound too.
+
+use visionsim_core::units::{ByteSize, DataRate};
+
+/// Texture streaming parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TextureSpec {
+    /// Texture atlas resolution (square, pixels per side).
+    pub resolution: u32,
+    /// Compressed bits per pixel (JPEG-class intra coding: ~0.5–2 bpp;
+    /// video-class inter coding of the atlas does better but needs a
+    /// reference — live capture pipelines typically intra-code).
+    pub bits_per_pixel: f64,
+    /// Bits per UV coordinate pair after quantization + entropy coding.
+    pub uv_bits_per_vertex: f64,
+}
+
+impl TextureSpec {
+    /// The persona-class default: a 1K atlas intra-coded at 1 bpp, 16-bit
+    /// quantized UVs entropy-coded to ~12 bits/vertex.
+    pub fn persona_default() -> Self {
+        TextureSpec {
+            resolution: 1_024,
+            bits_per_pixel: 1.0,
+            uv_bits_per_vertex: 12.0,
+        }
+    }
+
+    /// Compressed atlas size per frame.
+    pub fn atlas_bytes(&self) -> ByteSize {
+        let pixels = self.resolution as f64 * self.resolution as f64;
+        ByteSize::from_bytes((pixels * self.bits_per_pixel / 8.0).round() as u64)
+    }
+
+    /// UV-channel bytes for a mesh with `vertices` vertices.
+    pub fn uv_bytes(&self, vertices: usize) -> ByteSize {
+        ByteSize::from_bytes((vertices as f64 * self.uv_bits_per_vertex / 8.0).round() as u64)
+    }
+
+    /// Extra per-frame bytes for a textured stream of a `vertices`-vertex
+    /// mesh.
+    pub fn frame_overhead(&self, vertices: usize) -> ByteSize {
+        self.atlas_bytes() + self.uv_bytes(vertices)
+    }
+
+    /// Extra stream rate at `fps`.
+    pub fn stream_overhead(&self, vertices: usize, fps: f64) -> DataRate {
+        DataRate::from_bps_f64(self.frame_overhead(vertices).as_bits() as f64 * fps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atlas_size_matches_hand_math() {
+        let t = TextureSpec::persona_default();
+        // 1024² px × 1 bpp = 131,072 B.
+        assert_eq!(t.atlas_bytes(), ByteSize::from_bytes(131_072));
+    }
+
+    #[test]
+    fn uv_bytes_scale_with_vertices() {
+        let t = TextureSpec::persona_default();
+        assert_eq!(t.uv_bytes(1_000), ByteSize::from_bytes(1_500));
+        assert_eq!(
+            t.uv_bytes(2_000).as_bytes(),
+            2 * t.uv_bytes(1_000).as_bytes()
+        );
+    }
+
+    #[test]
+    fn texture_adds_tens_of_mbps_at_90fps() {
+        // The §4.3a point: texture makes mesh streaming even less viable.
+        let t = TextureSpec::persona_default();
+        let overhead = t.stream_overhead(39_000, 90.0).as_mbps_f64();
+        assert!(overhead > 90.0, "overhead {overhead} Mbps");
+    }
+
+    #[test]
+    fn higher_quality_costs_more() {
+        let lo = TextureSpec {
+            bits_per_pixel: 0.5,
+            ..TextureSpec::persona_default()
+        };
+        let hi = TextureSpec {
+            bits_per_pixel: 2.0,
+            ..TextureSpec::persona_default()
+        };
+        assert!(hi.atlas_bytes() > lo.atlas_bytes());
+    }
+}

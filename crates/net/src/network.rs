@@ -1,0 +1,516 @@
+//! The network: topology + event loop.
+//!
+//! Nodes are endpoints or forwarders; simplex links connect them. Packets
+//! are source-routed along the minimum-latency path computed by Dijkstra
+//! over link delays at send time (route cache invalidated on topology
+//! change). Delivered packets land in the destination node's inbox for the
+//! application layer to poll; taps observe everything that transits their
+//! node.
+
+use crate::link::{LinkConfig, LinkId, LinkState};
+use crate::netem::NetemVerdict;
+use crate::packet::{Packet, PortPair};
+use crate::tap::{Tap, TapDirection, TapId, TapRecord};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use visionsim_core::event::EventQueue;
+use visionsim_core::rng::SimRng;
+use visionsim_core::time::{SimDuration, SimTime};
+use visionsim_geo::coords::GeoPoint;
+use visionsim_geo::geodb::{GeoDb, NetAddr};
+
+/// Identifier of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A node in the topology.
+#[derive(Clone, Debug)]
+struct Node {
+    name: String,
+    addr: NetAddr,
+    #[allow(dead_code)]
+    location: GeoPoint,
+    inbox: VecDeque<Delivered>,
+    taps: Vec<usize>,
+}
+
+/// A packet delivered to its destination.
+#[derive(Clone, Debug)]
+pub struct Delivered {
+    /// The packet.
+    pub packet: Packet,
+    /// Delivery timestamp.
+    pub at: SimTime,
+}
+
+#[derive(Debug)]
+enum NetEvent {
+    /// Packet finishes traversing link `link` (serialization + delay +
+    /// impairments) and pops out at the link's tail node; `hop` indexes
+    /// the packet's position in its route.
+    LinkExit {
+        packet: Packet,
+        route: Vec<LinkId>,
+        hop: usize,
+    },
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<LinkState>,
+    /// Outgoing link ids per node.
+    adjacency: Vec<Vec<LinkId>>,
+    queue: EventQueue<NetEvent>,
+    route_cache: HashMap<(usize, usize), Option<Vec<LinkId>>>,
+    taps: Vec<Tap>,
+    geodb: GeoDb,
+    rng: SimRng,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Network {
+    /// An empty network with the given RNG seed (impairment sampling).
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            adjacency: Vec::new(),
+            queue: EventQueue::new(),
+            route_cache: HashMap::new(),
+            taps: Vec::new(),
+            geodb: GeoDb::new(),
+            rng: SimRng::seed_from_u64(seed),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The geolocation database tracking every node added so far.
+    pub fn geodb(&self) -> &GeoDb {
+        &self.geodb
+    }
+
+    /// Add a node; its address is allocated in the region-coded block for
+    /// `location` and registered under `org` in the geo database.
+    pub fn add_node(&mut self, name: &str, org: &str, location: GeoPoint) -> NodeId {
+        let addr = self.geodb.allocate(org, name, location);
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.to_string(),
+            addr,
+            location,
+            inbox: VecDeque::new(),
+            taps: Vec::new(),
+        });
+        self.adjacency.push(Vec::new());
+        self.route_cache.clear();
+        id
+    }
+
+    /// The address of a node.
+    pub fn addr(&self, node: NodeId) -> NetAddr {
+        self.nodes[node.0].addr
+    }
+
+    /// The node owning an address, if any.
+    pub fn node_of_addr(&self, addr: NetAddr) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.addr == addr)
+            .map(NodeId)
+    }
+
+    /// The node's display name.
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Add a simplex link.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, config: LinkConfig) -> LinkId {
+        assert!(from != to, "self-links are not allowed");
+        let id = LinkId(self.links.len());
+        self.links.push(LinkState::new(from.0, to.0, config));
+        self.adjacency[from.0].push(id);
+        self.route_cache.clear();
+        id
+    }
+
+    /// Add a duplex link (two mirrored simplex links).
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, config.clone());
+        let ba = self.add_link(b, a, config);
+        (ab, ba)
+    }
+
+    /// Mutable access to a link's impairments (re-configuring `tc` mid-run).
+    pub fn netem_mut(&mut self, link: LinkId) -> &mut crate::netem::Netem {
+        &mut self.links[link.0].config.netem
+    }
+
+    /// Link counters.
+    pub fn link_stats(&self, link: LinkId) -> crate::link::LinkStats {
+        self.links[link.0].stats
+    }
+
+    /// Total packets dropped anywhere in the network so far.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Register a tap on `node`.
+    pub fn add_tap(&mut self, node: NodeId) -> TapId {
+        let id = TapId(self.taps.len());
+        self.taps.push(Tap {
+            node: node.0,
+            records: Vec::new(),
+        });
+        self.nodes[node.0].taps.push(id.0);
+        id
+    }
+
+    /// Records captured by a tap so far.
+    pub fn tap_records(&self, tap: TapId) -> &[TapRecord] {
+        &self.taps[tap.0].records
+    }
+
+    /// Drain records captured by a tap.
+    pub fn take_tap_records(&mut self, tap: TapId) -> Vec<TapRecord> {
+        std::mem::take(&mut self.taps[tap.0].records)
+    }
+
+    fn record_tap(&mut self, node: usize, at: SimTime, packet: &Packet, dir: TapDirection) {
+        // Collect tap ids first to appease the borrow checker.
+        let tap_ids: Vec<usize> = self.nodes[node].taps.clone();
+        for t in tap_ids {
+            self.taps[t].records.push(TapRecord::capture(at, packet, dir));
+        }
+    }
+
+    /// Minimum-latency route (sequence of links) from `src` to `dst`,
+    /// computed by Dijkstra over link propagation delays and cached.
+    pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        if let Some(cached) = self.route_cache.get(&(src.0, dst.0)) {
+            return cached.clone();
+        }
+        let route = self.dijkstra(src.0, dst.0);
+        self.route_cache.insert((src.0, dst.0), route.clone());
+        route
+    }
+
+    fn dijkstra(&self, src: usize, dst: usize) -> Option<Vec<LinkId>> {
+        #[derive(PartialEq, Eq)]
+        struct Entry(SimDuration, usize);
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other.0.cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![SimDuration::from_secs(u64::MAX / 2_000_000_000); n];
+        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = SimDuration::ZERO;
+        heap.push(Entry(SimDuration::ZERO, src));
+        while let Some(Entry(d, u)) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == dst {
+                break;
+            }
+            for &lid in &self.adjacency[u] {
+                let link = &self.links[lid.0];
+                let nd = d + link.config.delay;
+                if nd < dist[link.to] {
+                    dist[link.to] = nd;
+                    prev[link.to] = Some(lid);
+                    heap.push(Entry(nd, link.to));
+                }
+            }
+        }
+        if src != dst && prev[dst].is_none() {
+            return None;
+        }
+        let mut route = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let lid = prev[cur]?;
+            route.push(lid);
+            cur = self.links[lid.0].from;
+        }
+        route.reverse();
+        Some(route)
+    }
+
+    /// Send a payload from `src` to `dst`. Returns the packet sequence
+    /// number, or `None` when no route exists or the first hop drops it.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        ports: PortPair,
+        payload: Vec<u8>,
+    ) -> Option<u64> {
+        let route = self.route(src, dst)?;
+        assert!(!route.is_empty(), "send to self is not supported");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let packet = Packet {
+            seq,
+            src: self.nodes[src.0].addr,
+            dst: self.nodes[dst.0].addr,
+            ports,
+            payload,
+            sent_at: self.now(),
+            corrupted: false,
+        };
+        self.record_tap(src.0, self.now(), &packet, TapDirection::Egress);
+        if self.push_onto_link(packet, route, 0) {
+            Some(seq)
+        } else {
+            None
+        }
+    }
+
+    /// Enqueue `packet` onto `route[hop]`. Returns false if dropped.
+    fn push_onto_link(&mut self, mut packet: Packet, route: Vec<LinkId>, hop: usize) -> bool {
+        let now = self.now();
+        let lid = route[hop];
+        let size = packet.wire_size();
+        let (exit_time, corrupt) = {
+            let link = &mut self.links[lid.0];
+            let Some(serialized) = link.serialize(now, size) else {
+                self.dropped += 1;
+                return false;
+            };
+            match link.config.netem.apply(now, size, &mut self.rng) {
+                NetemVerdict::Drop => {
+                    link.stats.netem_drops += 1;
+                    self.dropped += 1;
+                    return false;
+                }
+                NetemVerdict::Deliver { delay, corrupt } => {
+                    link.stats.sent += 1;
+                    link.stats.bytes += size.as_bytes();
+                    (serialized + link.config.delay + delay, corrupt)
+                }
+            }
+        };
+        packet.corrupted |= corrupt;
+        self.queue.schedule(
+            exit_time,
+            NetEvent::LinkExit {
+                packet,
+                route,
+                hop,
+            },
+        );
+        true
+    }
+
+    /// Advance the simulation to `until`, processing all traffic events.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            match ev.payload {
+                NetEvent::LinkExit {
+                    packet,
+                    route,
+                    hop,
+                } => {
+                    let node = self.links[route[hop].0].to;
+                    let at = ev.at;
+                    if hop + 1 == route.len() {
+                        self.record_tap(node, at, &packet, TapDirection::Ingress);
+                        self.nodes[node].inbox.push_back(Delivered { packet, at });
+                    } else {
+                        self.record_tap(node, at, &packet, TapDirection::Transit);
+                        self.push_onto_link(packet, route, hop + 1);
+                    }
+                }
+            }
+        }
+        // Advance the clock even if idle.
+        if self.queue.now() < until {
+            self.queue.run_until(until, |_, _, _| {});
+        }
+    }
+
+    /// Drain the inbox of `node`.
+    pub fn poll_delivered(&mut self, node: NodeId) -> Vec<Delivered> {
+        self.nodes[node.0].inbox.drain(..).collect()
+    }
+
+    /// Number of packets waiting in `node`'s inbox.
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.nodes[node.0].inbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visionsim_core::units::DataRate;
+    use visionsim_core::units::ByteSize;
+
+    fn two_node_net(delay_ms: u64) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", "test", GeoPoint::new(37.77, -122.42));
+        let b = net.add_node("b", "test", GeoPoint::new(40.71, -74.01));
+        net.add_duplex(a, b, LinkConfig::core(SimDuration::from_millis(delay_ms)));
+        (net, a, b)
+    }
+
+    #[test]
+    fn packet_arrives_after_propagation_delay() {
+        let (mut net, a, b) = two_node_net(25);
+        net.send(a, b, PortPair::new(1, 2), vec![0u8; 100]).unwrap();
+        net.run_until(SimTime::from_millis(24));
+        assert_eq!(net.inbox_len(b), 0);
+        net.run_until(SimTime::from_millis(26));
+        let got = net.poll_delivered(b);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].at, SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn multi_hop_route_accumulates_delay() {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
+        let r = net.add_node("r", "t", GeoPoint::new(41.88, -87.63));
+        let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
+        net.add_duplex(a, r, LinkConfig::core(SimDuration::from_millis(10)));
+        net.add_duplex(r, b, LinkConfig::core(SimDuration::from_millis(15)));
+        net.send(a, b, PortPair::new(1, 2), vec![0u8; 10]).unwrap();
+        net.run_until(SimTime::from_secs(1));
+        let got = net.poll_delivered(b);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].at, SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn dijkstra_picks_the_faster_path() {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
+        let slow = net.add_node("slow", "t", GeoPoint::new(41.88, -87.63));
+        let fast = net.add_node("fast", "t", GeoPoint::new(39.0, -94.0));
+        let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
+        net.add_duplex(a, slow, LinkConfig::core(SimDuration::from_millis(50)));
+        net.add_duplex(slow, b, LinkConfig::core(SimDuration::from_millis(50)));
+        net.add_duplex(a, fast, LinkConfig::core(SimDuration::from_millis(10)));
+        net.add_duplex(fast, b, LinkConfig::core(SimDuration::from_millis(10)));
+        let route = net.route(a, b).unwrap();
+        assert_eq!(route.len(), 2);
+        net.send(a, b, PortPair::new(1, 2), vec![0u8; 10]).unwrap();
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(net.poll_delivered(b)[0].at, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn no_route_returns_none() {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
+        let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
+        assert!(net.route(a, b).is_none());
+        assert!(net.send(a, b, PortPair::new(1, 2), vec![]).is_none());
+    }
+
+    #[test]
+    fn serialization_rate_bounds_throughput() {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
+        let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
+        let mut cfg = LinkConfig::core(SimDuration::from_millis(1));
+        cfg.rate = Some(DataRate::from_mbps(8)); // 1 MB/s
+        cfg.queue_limit = ByteSize::from_mb(64);
+        net.add_link(a, b, cfg);
+        // 100 × 10 KB = 1 MB, takes 1 s to serialize.
+        for _ in 0..100 {
+            net.send(a, b, PortPair::new(1, 2), vec![0u8; 10_000 - 28])
+                .unwrap();
+        }
+        net.run_until(SimTime::from_millis(500));
+        let early = net.poll_delivered(b).len();
+        assert!(early < 60, "only ~half should have arrived, got {early}");
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(early + net.poll_delivered(b).len(), 100);
+    }
+
+    #[test]
+    fn netem_loss_drops_packets() {
+        let (mut net, a, b) = two_node_net(5);
+        // Find the a→b link (index 0 by construction) and set 100% loss.
+        net.netem_mut(LinkId(0)).loss = 1.0;
+        for _ in 0..10 {
+            net.send(a, b, PortPair::new(1, 2), vec![0u8; 100]);
+        }
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(net.poll_delivered(b).len(), 0);
+        assert_eq!(net.total_dropped(), 10);
+    }
+
+    #[test]
+    fn netem_extra_delay_applies_one_direction_only() {
+        let (mut net, a, b) = two_node_net(5);
+        net.netem_mut(LinkId(0)).extra_delay = SimDuration::from_millis(100);
+        net.send(a, b, PortPair::new(1, 2), vec![0u8; 10]).unwrap();
+        net.send(b, a, PortPair::new(2, 1), vec![0u8; 10]).unwrap();
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(net.poll_delivered(b)[0].at, SimTime::from_millis(105));
+        assert_eq!(net.poll_delivered(a)[0].at, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn taps_observe_all_directions() {
+        let mut net = Network::new(1);
+        let client = net.add_node("client", "t", GeoPoint::new(37.77, -122.42));
+        let ap = net.add_node("ap", "t", GeoPoint::new(37.77, -122.42));
+        let server = net.add_node("server", "t", GeoPoint::new(40.71, -74.01));
+        net.add_duplex(client, ap, LinkConfig::wifi_access());
+        net.add_duplex(ap, server, LinkConfig::core(SimDuration::from_millis(30)));
+        let tap = net.add_tap(ap);
+        net.send(client, server, PortPair::new(1, 2), vec![0u8; 100])
+            .unwrap();
+        net.send(server, client, PortPair::new(2, 1), vec![0u8; 200])
+            .unwrap();
+        net.run_until(SimTime::from_secs(1));
+        let records = net.tap_records(tap);
+        // AP transits both packets.
+        assert_eq!(records.len(), 2);
+        assert!(records
+            .iter()
+            .all(|r| r.direction == TapDirection::Transit));
+    }
+
+    #[test]
+    fn corrupted_packets_are_flagged_at_delivery() {
+        let (mut net, a, b) = two_node_net(5);
+        net.netem_mut(LinkId(0)).corrupt = 1.0;
+        net.send(a, b, PortPair::new(1, 2), vec![0u8; 100]).unwrap();
+        net.run_until(SimTime::from_secs(1));
+        assert!(net.poll_delivered(b)[0].packet.corrupted);
+    }
+
+    #[test]
+    fn geodb_registers_every_node() {
+        let (net, a, b) = two_node_net(5);
+        assert!(net.geodb().lookup(net.addr(a)).is_some());
+        assert!(net.geodb().lookup(net.addr(b)).is_some());
+        assert_eq!(net.node_of_addr(net.addr(a)), Some(a));
+    }
+}

@@ -1,0 +1,197 @@
+//! Active measurement: RTT probing and anycast detection.
+//!
+//! The paper measures RTT with TCP pings from each WiFi AP (Apple blocks
+//! ICMP), and rules out anycast by probing each discovered server address
+//! from multiple vantage points (the methodology of the social-VR
+//! measurement study it cites). Both are reproduced over the simulated
+//! network.
+
+use crate::network::{Network, NodeId};
+use crate::packet::PortPair;
+use visionsim_core::stats::StreamingStats;
+use visionsim_core::time::SimDuration;
+use visionsim_geo::geodb::NetAddr;
+
+/// TCP-ping-style RTT prober: sends a small probe, waits for the echo the
+/// prober itself performs on behalf of the responder (TCP SYN/RST
+/// semantics — the network stack answers, not the application).
+#[derive(Debug)]
+pub struct RttProber {
+    /// Probe payload size (a bare TCP SYN is 40 B on the wire; our payload
+    /// adds to the simulator's fixed 28 B encapsulation).
+    pub probe_payload: usize,
+    /// Source port used by the probes.
+    pub port: u16,
+}
+
+impl Default for RttProber {
+    fn default() -> Self {
+        RttProber {
+            probe_payload: 12,
+            port: 33_434,
+        }
+    }
+}
+
+impl RttProber {
+    /// Run `count` probes from `client` to `server`, `spacing` apart, and
+    /// return per-probe RTTs. Probes that receive no echo within
+    /// `2 s` are recorded as lost (omitted from the result).
+    pub fn probe(
+        &self,
+        net: &mut Network,
+        client: NodeId,
+        server: NodeId,
+        count: usize,
+        spacing: SimDuration,
+    ) -> Vec<SimDuration> {
+        let mut rtts = Vec::with_capacity(count);
+        let timeout = SimDuration::from_secs(2);
+        for i in 0..count {
+            let ports = PortPair::new(self.port, 7 + i as u16);
+            let sent_at = net.now();
+            if net
+                .send(client, server, ports, vec![0xEC; self.probe_payload])
+                .is_none()
+            {
+                net.run_until(sent_at + spacing);
+                continue;
+            }
+            // Wait for the probe at the server, echo it, wait at the client.
+            let deadline = sent_at + timeout;
+            let mut echoed = false;
+            while net.now() < deadline {
+                let next = net.now() + SimDuration::from_millis(1);
+                net.run_until(next);
+                if !echoed {
+                    for d in net.poll_delivered(server) {
+                        if d.packet.ports.dst == ports.dst {
+                            net.send(server, client, ports.flipped(), d.packet.payload);
+                            echoed = true;
+                        }
+                    }
+                }
+                let mut done = false;
+                for d in net.poll_delivered(client) {
+                    if d.packet.ports.src == ports.dst {
+                        rtts.push(d.at.since(sent_at));
+                        done = true;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+            let resume = (sent_at + spacing).max(net.now());
+            net.run_until(resume);
+        }
+        rtts
+    }
+
+    /// Probe and reduce to summary statistics in milliseconds.
+    pub fn probe_stats(
+        &self,
+        net: &mut Network,
+        client: NodeId,
+        server: NodeId,
+        count: usize,
+        spacing: SimDuration,
+    ) -> StreamingStats {
+        let mut stats = StreamingStats::new();
+        for rtt in self.probe(net, client, server, count, spacing) {
+            stats.push(rtt.as_millis_f64());
+        }
+        stats
+    }
+}
+
+/// Anycast detection: probe one service from many vantage points and see
+/// whether the *responding infrastructure* differs by vantage. With
+/// unicast, every vantage reaches the same server address; with anycast,
+/// BGP steers different vantages to different sites behind one address, so
+/// the resolver (which models the client's view of "which server answered
+/// me") reports different backend identities.
+#[derive(Debug, Default)]
+pub struct AnycastProbe;
+
+impl AnycastProbe {
+    /// `resolve(vantage)` returns the backend identity observed from that
+    /// vantage (for real anycast this is inferred from e.g. RTT-based
+    /// fingerprinting or CHAOS-class queries). Returns `true` when the
+    /// service looks anycast.
+    pub fn is_anycast<F>(&self, vantages: &[NodeId], mut resolve: F) -> bool
+    where
+        F: FnMut(NodeId) -> NetAddr,
+    {
+        let mut seen: Option<NetAddr> = None;
+        for &v in vantages {
+            let backend = resolve(v);
+            match seen {
+                None => seen = Some(backend),
+                Some(prev) if prev != backend => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use visionsim_geo::coords::GeoPoint;
+
+    fn probe_net(one_way_ms: u64) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(7);
+        let c = net.add_node("client", "t", GeoPoint::new(37.77, -122.42));
+        let s = net.add_node("server", "t", GeoPoint::new(40.71, -74.01));
+        net.add_duplex(c, s, LinkConfig::core(SimDuration::from_millis(one_way_ms)));
+        (net, c, s)
+    }
+
+    #[test]
+    fn rtt_probe_measures_twice_the_one_way_delay() {
+        let (mut net, c, s) = probe_net(20);
+        let prober = RttProber::default();
+        let rtts = prober.probe(&mut net, c, s, 5, SimDuration::from_millis(200));
+        assert_eq!(rtts.len(), 5);
+        for rtt in rtts {
+            let ms = rtt.as_millis_f64();
+            assert!((40.0..42.0).contains(&ms), "rtt = {ms}");
+        }
+    }
+
+    #[test]
+    fn probe_stats_have_small_sigma() {
+        let (mut net, c, s) = probe_net(35);
+        let prober = RttProber::default();
+        let stats = prober.probe_stats(&mut net, c, s, 10, SimDuration::from_millis(100));
+        assert_eq!(stats.count(), 10);
+        assert!(stats.std_dev() < 7.0, "σ = {}", stats.std_dev());
+        assert!((stats.mean() - 70.0).abs() < 3.0, "mean = {}", stats.mean());
+    }
+
+    #[test]
+    fn lost_probes_are_omitted() {
+        let (mut net, c, s) = probe_net(20);
+        net.netem_mut(crate::link::LinkId(0)).loss = 1.0;
+        let prober = RttProber::default();
+        let rtts = prober.probe(&mut net, c, s, 3, SimDuration::from_millis(50));
+        assert!(rtts.is_empty());
+    }
+
+    #[test]
+    fn unicast_is_not_flagged_as_anycast() {
+        let vantages = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let detector = AnycastProbe;
+        assert!(!detector.is_anycast(&vantages, |_| NetAddr(42)));
+    }
+
+    #[test]
+    fn anycast_is_detected() {
+        let vantages = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let detector = AnycastProbe;
+        assert!(detector.is_anycast(&vantages, |v| NetAddr(v.0 as u32)));
+    }
+}

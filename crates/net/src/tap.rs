@@ -1,0 +1,122 @@
+//! Packet taps — the Wireshark-at-the-AP analogue.
+//!
+//! The paper captures traffic at each user's WiFi AP. A tap registered on a
+//! node records a [`TapRecord`] for every packet transiting (entering or
+//! being forwarded by) that node, including the direction relative to the
+//! node, so downstream analysis can separate uplink from downlink exactly
+//! as the paper does.
+
+use crate::packet::{Packet, PortPair};
+use visionsim_core::time::SimTime;
+use visionsim_core::units::ByteSize;
+use visionsim_geo::geodb::NetAddr;
+
+/// Identifier of a registered tap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TapId(pub usize);
+
+/// Direction of a packet relative to the tapped node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TapDirection {
+    /// Leaving the tapped node (uplink from its perspective).
+    Egress,
+    /// Arriving at the tapped node (downlink).
+    Ingress,
+    /// Transiting (the node forwards it) — seen by AP taps for the client
+    /// behind them.
+    Transit,
+}
+
+/// One captured packet observation.
+#[derive(Clone, Debug)]
+pub struct TapRecord {
+    /// Capture timestamp.
+    pub at: SimTime,
+    /// Source address.
+    pub src: NetAddr,
+    /// Destination address.
+    pub dst: NetAddr,
+    /// UDP ports.
+    pub ports: PortPair,
+    /// On-the-wire size.
+    pub wire_size: ByteSize,
+    /// First bytes of the payload (enough for protocol classification —
+    /// real payloads are encrypted anyway).
+    pub header_snippet: Vec<u8>,
+    /// Direction relative to the tapped node.
+    pub direction: TapDirection,
+    /// Whether the packet was corrupted in flight.
+    pub corrupted: bool,
+}
+
+/// How many payload bytes a tap retains for classification.
+pub const SNIPPET_LEN: usize = 16;
+
+impl TapRecord {
+    /// Build a record from a packet observed at `at`.
+    pub fn capture(at: SimTime, packet: &Packet, direction: TapDirection) -> Self {
+        TapRecord {
+            at,
+            src: packet.src,
+            dst: packet.dst,
+            ports: packet.ports,
+            wire_size: packet.wire_size(),
+            header_snippet: packet
+                .payload
+                .iter()
+                .take(SNIPPET_LEN)
+                .copied()
+                .collect(),
+            direction,
+            corrupted: packet.corrupted,
+        }
+    }
+}
+
+/// Storage for one tap.
+#[derive(Clone, Debug, Default)]
+pub struct Tap {
+    /// Which node the tap observes.
+    pub node: usize,
+    /// Captured records, in capture order.
+    pub records: Vec<TapRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_retains_header_snippet_only() {
+        let p = Packet {
+            seq: 1,
+            src: NetAddr(10),
+            dst: NetAddr(20),
+            ports: PortPair::new(1000, 2000),
+            payload: (0u8..64).collect(),
+            sent_at: SimTime::ZERO,
+            corrupted: false,
+        };
+        let r = TapRecord::capture(SimTime::from_millis(3), &p, TapDirection::Egress);
+        assert_eq!(r.header_snippet.len(), SNIPPET_LEN);
+        assert_eq!(r.header_snippet[0], 0);
+        assert_eq!(r.wire_size, ByteSize::from_bytes(64 + 28));
+        assert_eq!(r.direction, TapDirection::Egress);
+    }
+
+    #[test]
+    fn short_payloads_truncate_snippet() {
+        let p = Packet {
+            seq: 1,
+            src: NetAddr(10),
+            dst: NetAddr(20),
+            ports: PortPair::new(1, 2),
+            payload: vec![7, 8, 9],
+            sent_at: SimTime::ZERO,
+            corrupted: true,
+        };
+        let r = TapRecord::capture(SimTime::ZERO, &p, TapDirection::Ingress);
+        assert_eq!(r.header_snippet, vec![7, 8, 9]);
+        assert!(r.corrupted);
+    }
+}

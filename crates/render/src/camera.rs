@@ -1,0 +1,161 @@
+//! The viewer: pose, frustum, and gaze.
+//!
+//! Vision Pro is a video see-through headset with an approximately 100°
+//! horizontal field of view; its internal cameras track the eyes, giving
+//! the renderer a gaze direction for foveation. The viewer model keeps
+//! exactly what the visibility pipeline needs: where the head is, where it
+//! points, and where within the view the eyes point.
+
+use visionsim_mesh::geometry::Vec3;
+
+/// Default horizontal field of view, degrees.
+pub const DEFAULT_FOV_DEG: f32 = 100.0;
+/// Foveal region half-angle, degrees: eccentricities beyond this render at
+/// peripheral quality. The human fovea is ~2.5°, but practical foveated
+/// renderers keep a generous high-quality center.
+pub const FOVEA_DEG: f32 = 18.0;
+
+/// A viewer (one headset wearer).
+#[derive(Clone, Copy, Debug)]
+pub struct Viewer {
+    /// Head position.
+    pub position: Vec3,
+    /// View (head) direction, unit length.
+    pub forward: Vec3,
+    /// Gaze direction, unit length (defaults to `forward`).
+    pub gaze: Vec3,
+    /// Horizontal field of view, degrees.
+    pub fov_deg: f32,
+}
+
+impl Viewer {
+    /// A viewer at `position` looking along `forward` with centered gaze.
+    pub fn looking(position: Vec3, forward: Vec3) -> Self {
+        let f = forward.normalized();
+        assert!(f.length() > 0.0, "forward must be non-zero");
+        Viewer {
+            position,
+            forward: f,
+            gaze: f,
+            fov_deg: DEFAULT_FOV_DEG,
+        }
+    }
+
+    /// Set the gaze direction (normalized).
+    pub fn with_gaze(mut self, gaze: Vec3) -> Self {
+        let g = gaze.normalized();
+        assert!(g.length() > 0.0, "gaze must be non-zero");
+        self.gaze = g;
+        self
+    }
+
+    /// Angle in degrees between the view axis and the direction to `point`.
+    pub fn view_angle_deg(&self, point: &Vec3) -> f32 {
+        let dir = (*point - self.position).normalized();
+        if dir.length() == 0.0 {
+            return 0.0;
+        }
+        self.forward.dot(&dir).clamp(-1.0, 1.0).acos().to_degrees()
+    }
+
+    /// Angle in degrees between the gaze ray and the direction to `point` —
+    /// the retinal eccentricity foveation keys off.
+    pub fn eccentricity_deg(&self, point: &Vec3) -> f32 {
+        let dir = (*point - self.position).normalized();
+        if dir.length() == 0.0 {
+            return 0.0;
+        }
+        self.gaze.dot(&dir).clamp(-1.0, 1.0).acos().to_degrees()
+    }
+
+    /// Whether a sphere (center, radius) intersects the view frustum,
+    /// approximated as the view cone of half-angle `fov/2` (the paper's
+    /// viewport-adaptation experiment only needs in/out of view).
+    pub fn sees(&self, center: &Vec3, radius: f32) -> bool {
+        let to = *center - self.position;
+        let dist = to.length();
+        if dist <= radius {
+            return true; // inside the object
+        }
+        let half_fov = (self.fov_deg / 2.0).to_radians();
+        // Angular radius of the sphere widens the acceptance cone.
+        let ang = self.view_angle_deg(center).to_radians();
+        let ang_radius = (radius / dist).min(1.0).asin();
+        ang <= half_fov + ang_radius
+    }
+
+    /// Distance to a point, metres.
+    pub fn distance_to(&self, point: &Vec3) -> f32 {
+        self.position.distance(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_origin_looking_z() -> Viewer {
+        Viewer::looking(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0))
+    }
+
+    #[test]
+    fn straight_ahead_is_zero_angle() {
+        let v = at_origin_looking_z();
+        let p = Vec3::new(0.0, 0.0, -2.0);
+        assert!(v.view_angle_deg(&p) < 1e-3);
+        assert!(v.eccentricity_deg(&p) < 1e-3);
+    }
+
+    #[test]
+    fn behind_is_180_degrees() {
+        let v = at_origin_looking_z();
+        let p = Vec3::new(0.0, 0.0, 5.0);
+        assert!((v.view_angle_deg(&p) - 180.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sees_within_fov_not_behind() {
+        let v = at_origin_looking_z();
+        assert!(v.sees(&Vec3::new(0.0, 0.0, -1.0), 0.1));
+        // 45° off-axis is inside a 100° horizontal FOV.
+        assert!(v.sees(&Vec3::new(1.0, 0.0, -1.0), 0.1));
+        // Directly behind is not.
+        assert!(!v.sees(&Vec3::new(0.0, 0.0, 2.0), 0.1));
+        // 90° to the side is outside the 50° half-angle.
+        assert!(!v.sees(&Vec3::new(2.0, 0.0, 0.0), 0.1));
+    }
+
+    #[test]
+    fn large_spheres_widen_the_cone() {
+        let v = at_origin_looking_z();
+        let side = Vec3::new(2.0, 0.0, -0.5); // ~76° off-axis
+        assert!(!v.sees(&side, 0.05));
+        assert!(v.sees(&side, 1.5));
+    }
+
+    #[test]
+    fn viewer_inside_sphere_always_sees_it() {
+        let v = at_origin_looking_z();
+        assert!(v.sees(&Vec3::new(0.0, 0.0, 1.0), 5.0));
+    }
+
+    #[test]
+    fn gaze_decouples_from_head() {
+        let v = at_origin_looking_z().with_gaze(Vec3::new(1.0, 0.0, -1.0));
+        let p = Vec3::new(0.0, 0.0, -3.0);
+        assert!(v.view_angle_deg(&p) < 1e-3);
+        assert!((v.eccentricity_deg(&p) - 45.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let v = at_origin_looking_z();
+        assert!((v.distance_to(&Vec3::new(3.0, 4.0, 0.0)) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_forward() {
+        Viewer::looking(Vec3::ZERO, Vec3::ZERO);
+    }
+}

@@ -1,0 +1,28 @@
+//! # visionsim-render
+//!
+//! The headset-side rendering simulator: what RealityKit's performance
+//! tooling observes in the paper, rebuilt as a mechanism.
+//!
+//! * [`camera`] — the viewer: head pose, view frustum, gaze direction,
+//!   eccentricity math.
+//! * [`visibility`] — the visibility-aware optimization pipeline of §4.4:
+//!   viewport adaptation, foveated rendering, distance-aware LOD, and
+//!   (optional — the real system does *not* enable it) occlusion culling.
+//!   Each optimization independently toggleable for the Figure 5 ablation.
+//! * [`cost`] — the calibrated frame-cost model: GPU time from per-vertex
+//!   (triangle) and per-fragment (screen-coverage × shading-rate) load,
+//!   CPU time from received-bytes processing. Anchor constants are fitted
+//!   to the paper's Figure 5 measurements; scaling *shape* (Figure 6)
+//!   emerges from the mechanism.
+//! * [`counters`] — per-frame counters (triangles, CPU/GPU ms, deadline
+//!   misses at the 90 FPS target), the RealityKit-tool analogue.
+
+pub mod camera;
+pub mod cost;
+pub mod counters;
+pub mod visibility;
+
+pub use camera::Viewer;
+pub use cost::{CostModel, FrameCost};
+pub use counters::{FrameCounters, SessionCounters, FRAME_DEADLINE};
+pub use visibility::{LodClass, PersonaInstance, VisibilityFlags, VisibilityPipeline};

@@ -1,0 +1,32 @@
+//! # visionsim-semantic
+//!
+//! Semantic communication for the spatial persona — the delivery paradigm
+//! the paper concludes FaceTime uses (§4.3): instead of streaming 3D
+//! content or rendered video, the sender ships only the *meaningful
+//! semantics* (the 74 tracked keypoints — 32 eye+mouth + 2 × 21 hands) and
+//! the receiver reconstructs the persona mesh locally.
+//!
+//! * [`codec`] — per-frame keypoint encoding: f32 serialization plus the
+//!   LZMA-style compressor, exactly the paper's measurement pipeline.
+//!   Frames are coded independently (no inter-frame prediction), which is
+//!   what makes the stream loss-brittle and rate-inflexible; a delta mode
+//!   exists as an ablation.
+//! * [`packetize`] — MTU-splitting and frame reassembly with the
+//!   all-or-nothing property: a frame missing any fragment cannot be
+//!   reconstructed (the mechanism behind the §4.3 "poor connection" cliff).
+//! * [`reconstruct`] — keypoints → persona mesh deformation at the
+//!   receiver (the local rendering that makes display latency independent
+//!   of network delay).
+//! * [`fec`] — an *extension* beyond the measured system: XOR parity per
+//!   frame, quantifying what single-loss recovery would cost the semantic
+//!   stream.
+
+pub mod codec;
+pub mod fec;
+pub mod packetize;
+pub mod reconstruct;
+
+pub use codec::{CodecMode, SemanticCodec, SemanticConfig};
+pub use fec::{FecAssembler, FecEncoder, FecShard};
+pub use packetize::{FrameAssembler, Packetizer, MTU_PAYLOAD};
+pub use reconstruct::{PersonaRig, ReconstructionError};

@@ -1,0 +1,302 @@
+//! Packetization and frame reassembly.
+//!
+//! Semantic payloads are split into MTU-sized fragments for the wire. The
+//! crucial property: a frame is only usable when **every** fragment
+//! arrived — "missing certain parts of semantic information can result in
+//! failed content reconstruction" (§4.3). [`FrameAssembler`] enforces
+//! exactly that, and its completeness accounting is what the application
+//! layer uses to declare the persona unavailable under constrained links.
+
+/// Maximum fragment payload (typical 1500-byte Ethernet MTU minus IP/UDP
+/// and transport framing headroom).
+pub const MTU_PAYLOAD: usize = 1_200;
+
+/// A fragment header + body, as placed inside a transport payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Which frame this fragment belongs to.
+    pub frame_id: u64,
+    /// Fragment index within the frame.
+    pub index: u16,
+    /// Total fragments in the frame.
+    pub total: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Fragment {
+    /// Serialized form: frame_id (8) ‖ index (2) ‖ total (2) ‖ body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.body.len());
+        out.extend_from_slice(&self.frame_id.to_be_bytes());
+        out.extend_from_slice(&self.index.to_be_bytes());
+        out.extend_from_slice(&self.total.to_be_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a serialized fragment.
+    pub fn parse(bytes: &[u8]) -> Option<Fragment> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let frame_id = u64::from_be_bytes(bytes[0..8].try_into().ok()?);
+        let index = u16::from_be_bytes([bytes[8], bytes[9]]);
+        let total = u16::from_be_bytes([bytes[10], bytes[11]]);
+        if total == 0 || index >= total {
+            return None;
+        }
+        Some(Fragment {
+            frame_id,
+            index,
+            total,
+            body: bytes[12..].to_vec(),
+        })
+    }
+}
+
+/// Splits frame payloads into fragments.
+#[derive(Clone, Debug, Default)]
+pub struct Packetizer {
+    next_frame_id: u64,
+}
+
+impl Packetizer {
+    /// A packetizer starting at frame id 0.
+    pub fn new() -> Self {
+        Packetizer::default()
+    }
+
+    /// Split one frame payload. Always emits at least one fragment (empty
+    /// payloads still mark a frame boundary).
+    pub fn split(&mut self, payload: &[u8]) -> Vec<Fragment> {
+        let frame_id = self.next_frame_id;
+        self.next_frame_id += 1;
+        let chunks: Vec<&[u8]> = if payload.is_empty() {
+            vec![&[]]
+        } else {
+            payload.chunks(MTU_PAYLOAD).collect()
+        };
+        let total = chunks.len() as u16;
+        chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| Fragment {
+                frame_id,
+                index: i as u16,
+                total,
+                body: body.to_vec(),
+            })
+            .collect()
+    }
+}
+
+/// In-flight frame state: (total fragments, received bodies by index).
+type PendingFrame = (u16, Vec<Option<Vec<u8>>>);
+
+/// Per-frame reassembly state and statistics.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    /// In-flight frames by id.
+    pending: std::collections::BTreeMap<u64, PendingFrame>,
+    /// Completed frame count.
+    complete: u64,
+    /// Frames abandoned incomplete (superseded by newer frames).
+    abandoned: u64,
+    /// How many newer frames may be in flight before older incomplete
+    /// frames are abandoned (reconstruction is real-time; stale frames are
+    /// worthless).
+    horizon: u64,
+}
+
+impl FrameAssembler {
+    /// An assembler with the default 3-frame staleness horizon.
+    pub fn new() -> Self {
+        FrameAssembler {
+            horizon: 3,
+            ..FrameAssembler::default()
+        }
+    }
+
+    /// Feed one fragment; returns the completed frame payload when this
+    /// fragment completes its frame.
+    pub fn push(&mut self, frag: Fragment) -> Option<(u64, Vec<u8>)> {
+        let entry = self
+            .pending
+            .entry(frag.frame_id)
+            .or_insert_with(|| (frag.total, vec![None; frag.total as usize]));
+        if entry.0 != frag.total || frag.index as usize >= entry.1.len() {
+            return None; // inconsistent fragment; ignore
+        }
+        entry.1[frag.index as usize] = Some(frag.body);
+        let done = entry.1.iter().all(|s| s.is_some());
+        let result = if done {
+            let (_, slots) = self.pending.remove(&frag.frame_id).expect("present");
+            let mut payload = Vec::new();
+            for s in slots {
+                payload.extend_from_slice(&s.expect("checked complete"));
+            }
+            self.complete += 1;
+            Some((frag.frame_id, payload))
+        } else {
+            None
+        };
+        // Abandon frames too far behind the newest seen (the current
+        // fragment counts even when its frame just completed and left
+        // `pending`).
+        let newest = self
+            .pending
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
+            .max(frag.frame_id);
+        let stale: Vec<u64> = self
+            .pending
+            .keys()
+            .copied()
+            .filter(|&id| id + self.horizon < newest)
+            .collect();
+        for id in stale {
+            self.pending.remove(&id);
+            self.abandoned += 1;
+        }
+        result
+    }
+
+    /// Frames fully reassembled.
+    pub fn completed(&self) -> u64 {
+        self.complete
+    }
+
+    /// Frames abandoned incomplete — the reconstruction-failure count.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Completeness ratio over everything that has resolved so far.
+    pub fn completeness(&self) -> f64 {
+        let resolved = self.complete + self.abandoned;
+        if resolved == 0 {
+            return 1.0;
+        }
+        self.complete as f64 / resolved as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_payload_is_one_fragment() {
+        let mut p = Packetizer::new();
+        let frags = p.split(&[1, 2, 3]);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].total, 1);
+    }
+
+    #[test]
+    fn large_payload_splits_and_reassembles() {
+        let mut p = Packetizer::new();
+        let payload: Vec<u8> = (0..3_000u32).map(|i| i as u8).collect();
+        let frags = p.split(&payload);
+        assert_eq!(frags.len(), 3);
+        let mut asm = FrameAssembler::new();
+        let mut got = None;
+        for f in frags {
+            if let Some((id, data)) = asm.push(f) {
+                got = Some((id, data));
+            }
+        }
+        let (id, data) = got.expect("frame must complete");
+        assert_eq!(id, 0);
+        assert_eq!(data, payload);
+        assert_eq!(asm.completed(), 1);
+    }
+
+    #[test]
+    fn out_of_order_fragments_still_complete() {
+        let mut p = Packetizer::new();
+        let payload = vec![7u8; MTU_PAYLOAD * 2 + 10];
+        let mut frags = p.split(&payload);
+        frags.reverse();
+        let mut asm = FrameAssembler::new();
+        let mut done = false;
+        for f in frags {
+            if let Some((_, data)) = asm.push(f) {
+                assert_eq!(data, payload);
+                done = true;
+            }
+        }
+        assert!(done);
+    }
+
+    #[test]
+    fn missing_fragment_blocks_reconstruction() {
+        let mut p = Packetizer::new();
+        let payload = vec![1u8; MTU_PAYLOAD * 3];
+        let mut frags = p.split(&payload);
+        frags.remove(1); // lose the middle fragment
+        let mut asm = FrameAssembler::new();
+        for f in frags {
+            assert!(asm.push(f).is_none());
+        }
+        assert_eq!(asm.completed(), 0);
+    }
+
+    #[test]
+    fn stale_incomplete_frames_are_abandoned() {
+        let mut p = Packetizer::new();
+        let mut asm = FrameAssembler::new();
+        // Frame 0 loses a fragment; frames 1..6 complete.
+        let payload = vec![0u8; MTU_PAYLOAD * 2];
+        let mut f0 = p.split(&payload);
+        f0.pop();
+        for f in f0 {
+            asm.push(f);
+        }
+        for _ in 1..=6 {
+            for f in p.split(&[1, 2, 3]) {
+                asm.push(f);
+            }
+        }
+        assert_eq!(asm.completed(), 6);
+        assert_eq!(asm.abandoned(), 1);
+        assert!((asm.completeness() - 6.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragment_wire_format_round_trips() {
+        let f = Fragment {
+            frame_id: 0xDEAD_BEEF_CAFE,
+            index: 2,
+            total: 5,
+            body: vec![9, 9, 9],
+        };
+        assert_eq!(Fragment::parse(&f.to_bytes()), Some(f));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Fragment::parse(&[0; 11]).is_none()); // too short
+        let f = Fragment {
+            frame_id: 1,
+            index: 5,
+            total: 5,
+            body: vec![],
+        };
+        // index == total is invalid on the wire.
+        assert!(Fragment::parse(&f.to_bytes()).is_none());
+    }
+
+    #[test]
+    fn empty_payload_still_marks_a_frame() {
+        let mut p = Packetizer::new();
+        let frags = p.split(&[]);
+        assert_eq!(frags.len(), 1);
+        let mut asm = FrameAssembler::new();
+        let (_, data) = asm.push(frags[0].clone()).unwrap();
+        assert!(data.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Receiver-side persona reconstruction.
+//!
+//! The receiving headset holds the pre-captured persona mesh (exchanged at
+//! session setup, which is why the steady-state stream can be tiny) and
+//! deforms it every frame from the incoming keypoints. [`PersonaRig`] binds
+//! mesh vertices to nearby keypoints at setup time (Gaussian-falloff skinning
+//! weights, at most `MAX_BINDINGS` keypoints per vertex) and then applies
+//! per-frame keypoint displacements.
+//!
+//! Because reconstruction is local, a receiver-side viewport change renders
+//! the *current local state* immediately — network delay shifts which frame
+//! of motion is shown, not when pixels appear. This is the mechanism behind
+//! the §4.3 display-latency experiment.
+
+use visionsim_mesh::geometry::{TriangleMesh, Vec3};
+use visionsim_sensor::keypoints::KeypointFrame;
+
+/// Maximum keypoints influencing one vertex.
+pub const MAX_BINDINGS: usize = 4;
+
+/// Errors from reconstruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReconstructionError {
+    /// The incoming frame's keypoint count does not match the rig.
+    SchemaMismatch {
+        /// Keypoints the rig was bound with.
+        expected: usize,
+        /// Keypoints in the offending frame.
+        got: usize,
+    },
+    /// No complete frame has arrived yet.
+    NoData,
+}
+
+impl std::fmt::Display for ReconstructionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconstructionError::SchemaMismatch { expected, got } => {
+                write!(f, "rig bound to {expected} keypoints, frame has {got}")
+            }
+            ReconstructionError::NoData => write!(f, "no semantic frame received yet"),
+        }
+    }
+}
+
+impl std::error::Error for ReconstructionError {}
+
+/// A persona mesh rigged to a keypoint layout.
+#[derive(Clone, Debug)]
+pub struct PersonaRig {
+    base: TriangleMesh,
+    /// Reference keypoint positions the rig was bound at.
+    reference: KeypointFrame,
+    /// Per-vertex bindings: (keypoint index, weight), weights summing ≤ 1.
+    bindings: Vec<Vec<(u32, f32)>>,
+    /// The most recent reconstructed state.
+    current: TriangleMesh,
+    /// Frames applied so far.
+    frames_applied: u64,
+}
+
+impl PersonaRig {
+    /// Bind `base` to `reference` keypoints. `radius` is the Gaussian
+    /// falloff scale (metres); vertices further than ~2.5·radius from every
+    /// keypoint stay rigid.
+    pub fn bind(base: TriangleMesh, reference: KeypointFrame, radius: f32) -> Self {
+        assert!(radius > 0.0, "binding radius must be positive");
+        assert!(!reference.is_empty(), "cannot bind to zero keypoints");
+        let cutoff = 2.5 * radius;
+        let inv2r2 = 1.0 / (2.0 * radius * radius);
+        let bindings = base
+            .positions
+            .iter()
+            .map(|v| {
+                let mut near: Vec<(u32, f32)> = reference
+                    .points
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, p)| {
+                        let d = v.distance(&Vec3::new(p[0], p[1], p[2]));
+                        if d < cutoff {
+                            Some((k as u32, (-d * d * inv2r2).exp()))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                near.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+                near.truncate(MAX_BINDINGS);
+                let total: f32 = near.iter().map(|(_, w)| w).sum();
+                if total > 1.0 {
+                    for (_, w) in &mut near {
+                        *w /= total;
+                    }
+                }
+                near
+            })
+            .collect();
+        let current = base.clone();
+        PersonaRig {
+            base,
+            reference,
+            bindings,
+            current,
+            frames_applied: 0,
+        }
+    }
+
+    /// Apply one keypoint frame, updating the reconstructed mesh.
+    pub fn apply(&mut self, frame: &KeypointFrame) -> Result<(), ReconstructionError> {
+        if frame.len() != self.reference.len() {
+            return Err(ReconstructionError::SchemaMismatch {
+                expected: self.reference.len(),
+                got: frame.len(),
+            });
+        }
+        let deltas: Vec<Vec3> = frame
+            .points
+            .iter()
+            .zip(&self.reference.points)
+            .map(|(a, b)| Vec3::new(a[0] - b[0], a[1] - b[1], a[2] - b[2]))
+            .collect();
+        for (i, v) in self.base.positions.iter().enumerate() {
+            let mut out = *v;
+            for &(k, w) in &self.bindings[i] {
+                out = out + deltas[k as usize] * w;
+            }
+            self.current.positions[i] = out;
+        }
+        self.frames_applied += 1;
+        Ok(())
+    }
+
+    /// The latest reconstructed mesh; an error before the first frame.
+    pub fn current(&self) -> Result<&TriangleMesh, ReconstructionError> {
+        if self.frames_applied == 0 {
+            Err(ReconstructionError::NoData)
+        } else {
+            Ok(&self.current)
+        }
+    }
+
+    /// Frames applied so far.
+    pub fn frames_applied(&self) -> u64 {
+        self.frames_applied
+    }
+
+    /// Fraction of vertices influenced by at least one keypoint — a rig
+    /// sanity metric (the persona deforms around eyes/mouth/hands; hair and
+    /// ears stay rigid, which is exactly the paper's observation that
+    /// changes there "are not visible to remote peers").
+    pub fn bound_fraction(&self) -> f64 {
+        let bound = self.bindings.iter().filter(|b| !b.is_empty()).count();
+        bound as f64 / self.bindings.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visionsim_core::rng::SimRng;
+    use visionsim_mesh::generate::head_mesh;
+    use visionsim_sensor::capture::RgbdCapture;
+
+    fn rig() -> (PersonaRig, Vec<KeypointFrame>) {
+        let mesh = head_mesh(5_000, 1);
+        let mut cap = RgbdCapture::default_session();
+        let mut rng = SimRng::seed_from_u64(1);
+        let frames: Vec<KeypointFrame> = cap
+            .capture_trace(30, &mut rng)
+            .iter()
+            .map(|f| f.persona_subset())
+            .collect();
+        let rig = PersonaRig::bind(mesh, frames[0].clone(), 0.02);
+        (rig, frames)
+    }
+
+    #[test]
+    fn binding_covers_face_but_not_everything() {
+        let (rig, _) = rig();
+        let f = rig.bound_fraction();
+        assert!(f > 0.02, "almost nothing bound: {f}");
+        assert!(f < 0.9, "whole head bound — falloff too wide: {f}");
+    }
+
+    #[test]
+    fn no_data_before_first_frame() {
+        let (rig, _) = rig();
+        assert_eq!(rig.current().unwrap_err(), ReconstructionError::NoData);
+    }
+
+    #[test]
+    fn reference_frame_reconstructs_the_base() {
+        let (mut rig, frames) = rig();
+        let base = rig.base.clone();
+        rig.apply(&frames[0]).unwrap();
+        let m = rig.current().unwrap();
+        for (a, b) in m.positions.iter().zip(&base.positions) {
+            assert!(a.distance(b) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn motion_moves_bound_vertices_only() {
+        let (mut rig, frames) = rig();
+        rig.apply(&frames[0]).unwrap();
+        let at_ref = rig.current().unwrap().clone();
+        rig.apply(frames.last().unwrap()).unwrap();
+        let moved = rig.current().unwrap();
+        let mut any_moved = false;
+        let mut any_rigid = false;
+        for (i, (a, b)) in at_ref.positions.iter().zip(&moved.positions).enumerate() {
+            let d = a.distance(b);
+            if rig.bindings[i].is_empty() {
+                assert!(d < 1e-6, "unbound vertex {i} moved {d}");
+                any_rigid = true;
+            } else if d > 1e-5 {
+                any_moved = true;
+            }
+        }
+        assert!(any_moved && any_rigid);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let (mut rig, _) = rig();
+        let bad = KeypointFrame::zeros(10);
+        assert!(matches!(
+            rig.apply(&bad),
+            Err(ReconstructionError::SchemaMismatch {
+                expected: 74,
+                got: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn deformation_is_bounded_by_keypoint_motion() {
+        let (mut rig, frames) = rig();
+        rig.apply(&frames[0]).unwrap();
+        let before = rig.current().unwrap().clone();
+        let target = &frames[15];
+        rig.apply(target).unwrap();
+        let after = rig.current().unwrap();
+        let kp_motion = frames[0].max_displacement(target).unwrap();
+        for (a, b) in before.positions.iter().zip(&after.positions) {
+            // Convex weights ⇒ vertex motion ≤ max keypoint motion (∞-norm
+            // per axis, with slack for multiple axes combining).
+            assert!(a.distance(b) <= kp_motion * 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn rejects_bad_radius() {
+        let mesh = head_mesh(1_000, 1);
+        PersonaRig::bind(mesh, KeypointFrame::zeros(5), 0.0);
+    }
+}

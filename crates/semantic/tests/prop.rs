@@ -1,0 +1,125 @@
+//! Property-based tests for the semantic codec and packetization.
+
+use proptest::prelude::*;
+use visionsim_semantic::codec::{CodecMode, SemanticCodec, SemanticConfig};
+use visionsim_semantic::packetize::{Fragment, FrameAssembler, Packetizer};
+use visionsim_sensor::keypoints::KeypointFrame;
+
+fn arb_frame(n: usize) -> impl Strategy<Value = KeypointFrame> {
+    prop::collection::vec((-2.0f32..2.0, -2.0f32..2.0, -2.0f32..2.0), n..=n).prop_map(|pts| {
+        KeypointFrame {
+            points: pts.into_iter().map(|(x, y, z)| [x, y, z]).collect(),
+        }
+    })
+}
+
+proptest! {
+    /// Absolute mode is bit-exact for any frame.
+    #[test]
+    fn absolute_mode_round_trips(frame in arb_frame(74)) {
+        let cfg = SemanticConfig::default();
+        let mut enc = SemanticCodec::new(cfg);
+        let mut dec = SemanticCodec::new(cfg);
+        prop_assert_eq!(dec.decode(&enc.encode(&frame)).expect("own output"), frame);
+    }
+
+    /// Absolute mode with confidence channel still round-trips coordinates.
+    #[test]
+    fn confidence_channel_round_trips(frame in arb_frame(32)) {
+        let cfg = SemanticConfig { with_confidence: true, ..SemanticConfig::default() };
+        let mut enc = SemanticCodec::new(cfg);
+        let mut dec = SemanticCodec::new(cfg);
+        prop_assert_eq!(dec.decode(&enc.encode(&frame)).expect("own output"), frame);
+    }
+
+    /// Delta mode is lossy only to quantization, for any frame sequence.
+    #[test]
+    fn delta_mode_error_is_bounded(
+        frames in prop::collection::vec(arb_frame(10), 1..30),
+        step in 1u32..50, // 0.1 mm .. 5 mm
+    ) {
+        let step_m = step as f32 * 1e-4;
+        let cfg = SemanticConfig {
+            mode: CodecMode::Delta { keyframe_every: 7, step_m },
+            with_confidence: false,
+            fps: 90.0,
+        };
+        let mut enc = SemanticCodec::new(cfg);
+        let mut dec = SemanticCodec::new(cfg);
+        for f in &frames {
+            let got = dec.decode(&enc.encode(f)).expect("lossless channel");
+            let err = got.max_displacement(f).expect("same arity");
+            prop_assert!(err <= step_m * 0.51 + 1e-5, "err {err} step {step_m}");
+        }
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn decode_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut dec = SemanticCodec::new(SemanticConfig::default());
+        let _ = dec.decode(&garbage);
+        let mut dec = SemanticCodec::new(SemanticConfig {
+            mode: CodecMode::Delta { keyframe_every: 5, step_m: 0.001 },
+            with_confidence: false,
+            fps: 90.0,
+        });
+        let _ = dec.decode(&garbage);
+    }
+
+    /// Fragmentation reassembles any payload under any delivery order.
+    #[test]
+    fn reassembly_under_permutation(
+        payload in prop::collection::vec(any::<u8>(), 0..8_000),
+        seed in any::<u64>(),
+    ) {
+        let mut p = Packetizer::new();
+        let mut frags = p.split(&payload);
+        // Deterministic shuffle from the seed.
+        let mut state = seed | 1;
+        for i in (1..frags.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            frags.swap(i, j);
+        }
+        let mut asm = FrameAssembler::new();
+        let mut out = None;
+        for f in frags {
+            if let Some((_, data)) = asm.push(f) {
+                out = Some(data);
+            }
+        }
+        prop_assert_eq!(out.expect("complete delivery"), payload);
+    }
+
+    /// Fragment wire format round-trips and its parser never panics.
+    #[test]
+    fn fragment_wire_round_trip(
+        frame_id in any::<u64>(),
+        total in 1u16..100,
+        body in prop::collection::vec(any::<u8>(), 0..1_500),
+        garbage in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let f = Fragment { frame_id, index: total - 1, total, body };
+        prop_assert_eq!(Fragment::parse(&f.to_bytes()), Some(f));
+        let _ = Fragment::parse(&garbage);
+    }
+
+    /// Dropping any single fragment of a multi-fragment frame prevents
+    /// reconstruction (the all-or-nothing property).
+    #[test]
+    fn any_single_loss_blocks_frame(
+        payload in prop::collection::vec(any::<u8>(), 2_500..6_000),
+        drop_choice in any::<u64>(),
+    ) {
+        let mut p = Packetizer::new();
+        let mut frags = p.split(&payload);
+        prop_assume!(frags.len() >= 2);
+        let drop = (drop_choice % frags.len() as u64) as usize;
+        frags.remove(drop);
+        let mut asm = FrameAssembler::new();
+        for f in frags {
+            prop_assert!(asm.push(f).is_none());
+        }
+        prop_assert_eq!(asm.completed(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! RGB-D capture substitute.
+//!
+//! Stands in for the ZED 2i camera of the §4.3 keypoint experiment: the
+//! paper captures "a video of 2,000 frames containing the head and hand
+//! regions", extracts dlib face and OpenPose hand keypoints, keeps the
+//! eye+mouth subset, and measures the compressed stream rate.
+//! [`RgbdCapture`] produces the same trace synthetically — per-frame
+//! Face68 + two Hand21 keypoint sets with tracker noise — and exposes the
+//! 74-point persona subset.
+
+use crate::keypoints::{KeypointFrame, KeypointSchema, PERSONA_KEYPOINTS};
+use crate::motion::{FaceMotion, HandMotion, MotionConfig};
+use visionsim_core::rng::SimRng;
+
+/// One captured frame: full face plus both hands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CapturedFrame {
+    /// dlib Face68 keypoints.
+    pub face: KeypointFrame,
+    /// OpenPose Hand21, left hand.
+    pub left_hand: KeypointFrame,
+    /// OpenPose Hand21, right hand.
+    pub right_hand: KeypointFrame,
+}
+
+impl CapturedFrame {
+    /// The 74-point persona subset: eye+mouth (32) ‖ left hand ‖ right
+    /// hand.
+    pub fn persona_subset(&self) -> KeypointFrame {
+        let eye_mouth = KeypointFrame {
+            points: KeypointSchema::eye_mouth_subset(&self.face.points),
+        };
+        let all = KeypointFrame::concat(&[&eye_mouth, &self.left_hand, &self.right_hand]);
+        debug_assert_eq!(all.len(), PERSONA_KEYPOINTS);
+        all
+    }
+}
+
+/// The synthetic RGB-D camera: drives the motion models at the configured
+/// frame rate.
+#[derive(Clone, Debug)]
+pub struct RgbdCapture {
+    face: FaceMotion,
+    left: HandMotion,
+    right: HandMotion,
+    frames: u64,
+}
+
+impl RgbdCapture {
+    /// A capture session with the given motion configuration.
+    pub fn new(config: MotionConfig) -> Self {
+        RgbdCapture {
+            face: FaceMotion::new(config.clone()),
+            left: HandMotion::new(config.clone(), -1.0),
+            right: HandMotion::new(config, 1.0),
+            frames: 0,
+        }
+    }
+
+    /// A 90 FPS default session.
+    pub fn default_session() -> Self {
+        Self::new(MotionConfig::default())
+    }
+
+    /// Capture the next frame.
+    pub fn next_frame(&mut self, rng: &mut SimRng) -> CapturedFrame {
+        self.frames += 1;
+        CapturedFrame {
+            face: self.face.next_frame(rng),
+            left_hand: self.left.next_frame(rng),
+            right_hand: self.right.next_frame(rng),
+        }
+    }
+
+    /// Capture a trace of `n` frames (the paper uses 2,000).
+    pub fn capture_trace(&mut self, n: usize, rng: &mut SimRng) -> Vec<CapturedFrame> {
+        (0..n).map(|_| self.next_frame(rng)).collect()
+    }
+
+    /// Frames captured so far.
+    pub fn frames_captured(&self) -> u64 {
+        self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captured_frame_has_all_parts() {
+        let mut cap = RgbdCapture::default_session();
+        let mut rng = SimRng::seed_from_u64(1);
+        let f = cap.next_frame(&mut rng);
+        assert_eq!(f.face.len(), 68);
+        assert_eq!(f.left_hand.len(), 21);
+        assert_eq!(f.right_hand.len(), 21);
+    }
+
+    #[test]
+    fn persona_subset_is_74_points() {
+        let mut cap = RgbdCapture::default_session();
+        let mut rng = SimRng::seed_from_u64(2);
+        let f = cap.next_frame(&mut rng);
+        assert_eq!(f.persona_subset().len(), 74);
+    }
+
+    #[test]
+    fn trace_length_matches_request() {
+        let mut cap = RgbdCapture::default_session();
+        let mut rng = SimRng::seed_from_u64(3);
+        let trace = cap.capture_trace(200, &mut rng);
+        assert_eq!(trace.len(), 200);
+        assert_eq!(cap.frames_captured(), 200);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let run = || {
+            let mut cap = RgbdCapture::default_session();
+            let mut rng = SimRng::seed_from_u64(4);
+            cap.capture_trace(50, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hands_sit_apart_from_the_face() {
+        let mut cap = RgbdCapture::default_session();
+        let mut rng = SimRng::seed_from_u64(5);
+        let f = cap.next_frame(&mut rng);
+        let face_y = f.face.points[0][1];
+        let hand_y = f.left_hand.points[0][1];
+        assert!(hand_y < face_y, "hands should hang below the face");
+    }
+
+    #[test]
+    fn subset_points_change_frame_to_frame() {
+        let mut cap = RgbdCapture::default_session();
+        let mut rng = SimRng::seed_from_u64(6);
+        let a = cap.next_frame(&mut rng).persona_subset();
+        let b = cap.next_frame(&mut rng).persona_subset();
+        assert!(a.max_displacement(&b).unwrap() > 0.0);
+    }
+}

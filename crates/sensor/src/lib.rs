@@ -1,0 +1,17 @@
+//! # visionsim-sensor
+//!
+//! The capture side of the telepresence pipeline: keypoint schemas matching
+//! the tools the paper uses (dlib's 68 facial keypoints, OpenPose's 21 hand
+//! keypoints, and the 32-point eye+mouth subset that Vision Pro's sensors
+//! actually track for the spatial persona), synthetic face/hand motion
+//! synthesis (blinks, saccades, speech-driven mouth, hand gestures), and an
+//! RGB-D capture substitute standing in for the ZED 2i camera of the §4.3
+//! keypoint-bandwidth experiment.
+
+pub mod capture;
+pub mod keypoints;
+pub mod motion;
+
+pub use capture::RgbdCapture;
+pub use keypoints::{KeypointFrame, KeypointSchema, PERSONA_KEYPOINTS};
+pub use motion::{FaceMotion, HandMotion, MotionConfig};

@@ -1,0 +1,30 @@
+//! # visionsim-transport
+//!
+//! Wire framing for the simulated VCAs, shaped after what the paper's
+//! Wireshark captures can and cannot see:
+//!
+//! * [`rtp`] — RFC 3550-shaped RTP headers with the RFC 3551 payload-type
+//!   registry. The paper identifies 2D persona delivery by its RTP framing
+//!   and checks that FaceTime's PT field matches traditional 2D video
+//!   calls.
+//! * [`quic`] — a QUIC-like framing (RFC 9000 varints, long/short headers,
+//!   stream frames) used by FaceTime when *all* participants wear Vision
+//!   Pro. Payloads ride encrypted (TLS 1.3 in reality, [`cipher`] here), so
+//!   the classifier sees headers only — matching the paper's §5 observation
+//!   that content decryption is infeasible and analysis must rely on
+//!   headers and traffic patterns.
+//! * [`cipher`] — RFC 8439 ChaCha20, implemented from scratch, standing in
+//!   for the end-to-end encryption of spatial persona payloads.
+//! * [`mod@classify`] — the passive protocol identifier applied to tap
+//!   records, reproducing the paper's protocol findings methodology.
+
+pub mod cipher;
+pub mod classify;
+pub mod quic;
+pub mod rtcp;
+pub mod rtp;
+
+pub use classify::{classify, WireProtocol};
+pub use quic::{QuicFrame, QuicPacket};
+pub use rtcp::ReceiverReportPacket;
+pub use rtp::{PayloadType, RtpHeader, RtpPacket};

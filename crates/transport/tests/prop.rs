@@ -1,0 +1,140 @@
+//! Property-based tests for wire framing: round-trips under arbitrary
+//! field values, and parser robustness on arbitrary bytes.
+
+use proptest::prelude::*;
+use visionsim_transport::cipher;
+use visionsim_transport::classify::classify;
+use visionsim_transport::quic::{read_varint, write_varint, QuicFrame, QuicPacket};
+use visionsim_transport::rtp::{PayloadType, RtpHeader, RtpPacket};
+
+proptest! {
+    #[test]
+    fn rtp_header_round_trips(
+        pt in 0u8..128,
+        marker in any::<bool>(),
+        seq in any::<u16>(),
+        timestamp in any::<u32>(),
+        ssrc in any::<u32>(),
+    ) {
+        let h = RtpHeader {
+            payload_type: PayloadType::from_code(pt),
+            marker,
+            seq,
+            timestamp,
+            ssrc,
+        };
+        prop_assert_eq!(RtpHeader::parse(&h.to_bytes()), Some(h));
+    }
+
+    #[test]
+    fn rtp_packet_round_trips(payload in prop::collection::vec(any::<u8>(), 0..2_000)) {
+        let p = RtpPacket {
+            header: RtpHeader {
+                payload_type: PayloadType::H264Video,
+                marker: true,
+                seq: 1,
+                timestamp: 2,
+                ssrc: 3,
+            },
+            payload,
+        };
+        prop_assert_eq!(RtpPacket::parse(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn rtp_parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = RtpHeader::parse(&bytes);
+        let _ = RtpPacket::parse(&bytes);
+    }
+
+    #[test]
+    fn quic_varint_round_trips(v in 0u64..0x4000_0000_0000_0000) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        let (got, n) = read_varint(&buf).expect("wrote it");
+        prop_assert_eq!(got, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn quic_short_packet_round_trips(
+        dcid in any::<[u8; 8]>(),
+        pn in 0u64..0x4000_0000,
+        stream_id in 0u64..1_000,
+        offset in 0u64..0x4000_0000,
+        data in prop::collection::vec(any::<u8>(), 0..1_500),
+        key in any::<[u8; 32]>(),
+    ) {
+        let pkt = QuicPacket::Short {
+            dcid,
+            packet_number: pn,
+            frames: vec![QuicFrame::Stream { stream_id, offset, data }],
+        };
+        let wire = pkt.to_bytes(&key);
+        prop_assert_eq!(QuicPacket::parse(&wire, &key), Some(pkt));
+    }
+
+    #[test]
+    fn quic_parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = QuicPacket::parse(&bytes, &[0u8; 32]);
+    }
+
+    #[test]
+    fn classify_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+        let _ = classify(&bytes);
+    }
+
+    #[test]
+    fn chacha_round_trips(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        data in prop::collection::vec(any::<u8>(), 0..2_000),
+    ) {
+        let ct = cipher::seal(&key, &nonce, &data);
+        prop_assert_eq!(ct.len(), data.len());
+        prop_assert_eq!(cipher::open(&key, &nonce, &ct), data);
+    }
+
+    /// Ciphertext differs from plaintext for non-trivial inputs (the
+    /// keystream is never the zero stream for these parameters).
+    #[test]
+    fn chacha_actually_encrypts(
+        key in any::<[u8; 32]>(),
+        data in prop::collection::vec(any::<u8>(), 64..256),
+    ) {
+        let nonce = [7u8; 12];
+        let ct = cipher::seal(&key, &nonce, &data);
+        prop_assert_ne!(ct, data);
+    }
+
+    /// Classifier verdicts on real framings are correct for arbitrary
+    /// header field values.
+    #[test]
+    fn classify_identifies_real_framings(
+        seq in any::<u16>(),
+        ts in any::<u32>(),
+        key in any::<[u8; 32]>(),
+        payload in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let rtp = RtpPacket {
+            header: RtpHeader {
+                payload_type: PayloadType::H264Video,
+                marker: false,
+                seq,
+                timestamp: ts,
+                ssrc: 1,
+            },
+            payload: payload.clone(),
+        }
+        .to_bytes();
+        prop_assert!(classify(&rtp).is_rtp());
+
+        let quic = QuicPacket::Short {
+            dcid: [1; 8],
+            packet_number: seq as u64,
+            frames: vec![QuicFrame::Stream { stream_id: 0, offset: 0, data: payload }],
+        }
+        .to_bytes(&key);
+        prop_assert!(classify(&quic).is_quic());
+    }
+}

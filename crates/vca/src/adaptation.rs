@@ -1,0 +1,287 @@
+//! Rate control and persona availability.
+//!
+//! Two very different control loops, mirroring §4.3's contrast:
+//!
+//! * [`RateController`] — the 2D-video loop: the receiver reports goodput
+//!   and loss once a second; the sender multiplicatively backs off under
+//!   loss and additively probes upward when clean (the AIMD shape every
+//!   production VCA uses). This is why constrained links degrade 2D
+//!   quality instead of killing the call.
+//! * [`PersonaAvailability`] — the semantic stream has no ladder. The only
+//!   observable is frame completeness; when it stays below a threshold,
+//!   the persona is declared unavailable and the UI shows "poor
+//!   connection". Recovery requires sustained clean delivery.
+
+use visionsim_core::units::DataRate;
+
+/// One receiver report covering the last feedback interval.
+#[derive(Clone, Copy, Debug)]
+pub struct ReceiverReport {
+    /// Bytes that arrived in the interval.
+    pub received_bytes: u64,
+    /// Fraction of packets lost in the interval, `[0, 1]`.
+    pub loss: f64,
+    /// Interval length, seconds.
+    pub interval_s: f64,
+}
+
+impl ReceiverReport {
+    /// Goodput implied by the report.
+    pub fn goodput(&self) -> DataRate {
+        if self.interval_s <= 0.0 {
+            return DataRate::ZERO;
+        }
+        DataRate::from_bps_f64(self.received_bytes as f64 * 8.0 / self.interval_s)
+    }
+}
+
+/// AIMD-style sender rate controller for adaptive 2D video.
+#[derive(Clone, Debug)]
+pub struct RateController {
+    target: DataRate,
+    /// Ceiling (the encoder's full-quality rate).
+    max: DataRate,
+    /// Floor (the encoder ladder bottom).
+    min: DataRate,
+}
+
+impl RateController {
+    /// A controller bounded by the encoder's ladder.
+    pub fn new(max: DataRate, min: DataRate) -> Self {
+        assert!(min <= max, "min must not exceed max");
+        RateController {
+            target: max,
+            max,
+            min,
+        }
+    }
+
+    /// Current target rate.
+    pub fn target(&self) -> DataRate {
+        self.target
+    }
+
+    /// Process one receiver report, returning the new target.
+    pub fn on_report(&mut self, report: &ReceiverReport) -> DataRate {
+        if report.loss > 0.02 {
+            // Multiplicative decrease toward observed goodput.
+            let backed = (report.goodput().as_bps() as f64 * 0.85)
+                .min(self.target.as_bps() as f64 * 0.8);
+            self.target = DataRate::from_bps_f64(backed);
+        } else {
+            // Additive increase: probe up by 5% of the ceiling.
+            let probe = self.target.as_bps() + self.max.as_bps() / 20;
+            self.target = DataRate::from_bps(probe);
+        }
+        self.target = self.target.clamp(self.min, self.max);
+        self.target
+    }
+}
+
+/// Persona availability states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersonaState {
+    /// Persona rendering normally.
+    Available,
+    /// "Poor connection" — persona unavailable.
+    PoorConnection,
+}
+
+/// The semantic stream's availability state machine.
+#[derive(Clone, Debug)]
+pub struct PersonaAvailability {
+    state: PersonaState,
+    /// Consecutive bad feedback intervals.
+    bad_streak: u32,
+    /// Consecutive good intervals while down.
+    good_streak: u32,
+    /// Completeness below this is a bad interval.
+    threshold: f64,
+    /// Bad intervals before declaring poor connection.
+    down_after: u32,
+    /// Good intervals before recovering.
+    up_after: u32,
+}
+
+impl Default for PersonaAvailability {
+    fn default() -> Self {
+        PersonaAvailability {
+            state: PersonaState::Available,
+            bad_streak: 0,
+            good_streak: 0,
+            threshold: 0.9,
+            down_after: 2,
+            up_after: 3,
+        }
+    }
+}
+
+impl PersonaAvailability {
+    /// A fresh state machine.
+    pub fn new() -> Self {
+        PersonaAvailability::default()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PersonaState {
+        self.state
+    }
+
+    /// True when the persona is up.
+    pub fn is_available(&self) -> bool {
+        self.state == PersonaState::Available
+    }
+
+    /// Feed one interval's frame completeness (fraction of semantic frames
+    /// fully reassembled). Returns the state after the update.
+    pub fn on_interval(&mut self, completeness: f64) -> PersonaState {
+        let good = completeness >= self.threshold;
+        match self.state {
+            PersonaState::Available => {
+                if good {
+                    self.bad_streak = 0;
+                } else {
+                    self.bad_streak += 1;
+                    if self.bad_streak >= self.down_after {
+                        self.state = PersonaState::PoorConnection;
+                        self.good_streak = 0;
+                    }
+                }
+            }
+            PersonaState::PoorConnection => {
+                if good {
+                    self.good_streak += 1;
+                    if self.good_streak >= self.up_after {
+                        self.state = PersonaState::Available;
+                        self.bad_streak = 0;
+                    }
+                } else {
+                    self.good_streak = 0;
+                }
+            }
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_report(rate_mbps: f64) -> ReceiverReport {
+        ReceiverReport {
+            received_bytes: (rate_mbps * 1e6 / 8.0) as u64,
+            loss: 0.0,
+            interval_s: 1.0,
+        }
+    }
+
+    fn lossy_report(rate_mbps: f64, loss: f64) -> ReceiverReport {
+        ReceiverReport {
+            received_bytes: (rate_mbps * 1e6 / 8.0) as u64,
+            loss,
+            interval_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn goodput_arithmetic() {
+        assert!((clean_report(4.0).goodput().as_mbps_f64() - 4.0).abs() < 1e-9);
+        assert_eq!(
+            ReceiverReport {
+                received_bytes: 100,
+                loss: 0.0,
+                interval_s: 0.0
+            }
+            .goodput(),
+            DataRate::ZERO
+        );
+    }
+
+    #[test]
+    fn loss_triggers_multiplicative_decrease() {
+        let mut rc = RateController::new(DataRate::from_mbps(4), DataRate::from_kbps(300));
+        let before = rc.target();
+        let after = rc.on_report(&lossy_report(2.0, 0.1));
+        assert!(after < before);
+        assert!(after.as_mbps_f64() <= 2.0);
+    }
+
+    #[test]
+    fn clean_reports_probe_upward_to_ceiling() {
+        let mut rc = RateController::new(DataRate::from_mbps(4), DataRate::from_kbps(300));
+        rc.on_report(&lossy_report(1.0, 0.2)); // knock it down
+        let low = rc.target();
+        for _ in 0..100 {
+            rc.on_report(&clean_report(4.0));
+        }
+        assert!(rc.target() > low);
+        assert_eq!(rc.target(), DataRate::from_mbps(4)); // back at ceiling
+    }
+
+    #[test]
+    fn controller_respects_the_floor() {
+        let mut rc = RateController::new(DataRate::from_mbps(4), DataRate::from_kbps(300));
+        for _ in 0..50 {
+            rc.on_report(&lossy_report(0.01, 0.5));
+        }
+        assert_eq!(rc.target(), DataRate::from_kbps(300));
+    }
+
+    #[test]
+    fn converges_near_a_bottleneck() {
+        // A 1 Mbps bottleneck: the controller should settle around it.
+        let mut rc = RateController::new(DataRate::from_mbps(4), DataRate::from_kbps(300));
+        for _ in 0..200 {
+            let offered = rc.target().as_mbps_f64();
+            let delivered = offered.min(1.0);
+            let loss = if offered > 1.0 {
+                (offered - 1.0) / offered
+            } else {
+                0.0
+            };
+            rc.on_report(&lossy_report(delivered, loss));
+        }
+        let settled = rc.target().as_mbps_f64();
+        assert!((0.5..1.4).contains(&settled), "settled {settled}");
+    }
+
+    #[test]
+    fn persona_goes_down_after_sustained_incompleteness() {
+        let mut pa = PersonaAvailability::new();
+        assert!(pa.is_available());
+        pa.on_interval(0.5);
+        assert!(pa.is_available(), "one bad interval is tolerated");
+        pa.on_interval(0.5);
+        assert_eq!(pa.state(), PersonaState::PoorConnection);
+    }
+
+    #[test]
+    fn persona_recovers_after_sustained_clean_delivery() {
+        let mut pa = PersonaAvailability::new();
+        pa.on_interval(0.0);
+        pa.on_interval(0.0);
+        assert!(!pa.is_available());
+        pa.on_interval(1.0);
+        pa.on_interval(1.0);
+        assert!(!pa.is_available(), "recovery needs three good intervals");
+        pa.on_interval(1.0);
+        assert!(pa.is_available());
+    }
+
+    #[test]
+    fn isolated_glitches_do_not_flap() {
+        let mut pa = PersonaAvailability::new();
+        for i in 0..100 {
+            let completeness = if i % 10 == 0 { 0.3 } else { 1.0 };
+            pa.on_interval(completeness);
+            assert!(pa.is_available(), "flapped at interval {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn controller_rejects_inverted_bounds() {
+        RateController::new(DataRate::from_kbps(100), DataRate::from_mbps(1));
+    }
+}

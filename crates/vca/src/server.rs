@@ -1,0 +1,199 @@
+//! SFU servers and assignment policies.
+//!
+//! §4.1's central infrastructure finding: every platform assigns the
+//! session to the single server *closest to the initiating user*,
+//! regardless of where the other participants are — which is what produces
+//! Table 1's ~80 ms worst-case rows. The paper proposes geo-distributed
+//! serving (each client attaches to a nearby server, servers interconnect
+//! over a fast private backbone) as the fix; both policies are implemented
+//! so the ablation can quantify the difference.
+
+use visionsim_geo::coords::GeoPoint;
+use visionsim_geo::sites::{Provider, ServerSite, SiteRegistry};
+
+/// How a session picks its server(s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignmentPolicy {
+    /// One server: the provider site nearest the initiator (measured
+    /// behaviour).
+    NearestToInitiator,
+    /// Each client attaches to its nearest site; sites relay over a
+    /// private backbone (the paper's proposed improvement).
+    GeoDistributed,
+}
+
+/// The outcome of assignment: which site each participant attaches to.
+#[derive(Clone, Debug)]
+pub struct ServerAssignment {
+    /// Policy used.
+    pub policy: AssignmentPolicy,
+    /// Attachment site per participant (same order as the input).
+    pub attachments: Vec<ServerSite>,
+}
+
+impl ServerAssignment {
+    /// Assign servers for a session. `locations[0]` is the initiator.
+    /// Equivalent to [`ServerAssignment::assign_with_salt`] with salt 0
+    /// (the geographically nearest site wins outright).
+    pub fn assign(
+        policy: AssignmentPolicy,
+        registry: &SiteRegistry,
+        provider: Provider,
+        locations: &[GeoPoint],
+    ) -> Self {
+        Self::assign_with_salt(policy, registry, provider, locations, 0)
+    }
+
+    /// Assign servers with a per-session salt. The paper observes that the
+    /// assigned server is always *in the initiator's nearest region* —
+    /// e.g. an Eastern initiator always lands in the Eastern US — but it
+    /// found two distinct Middle-US FaceTime servers, so within a region
+    /// the provider load-balances. The salt selects among the same-region
+    /// candidates; salt 0 picks the strictly nearest.
+    pub fn assign_with_salt(
+        policy: AssignmentPolicy,
+        registry: &SiteRegistry,
+        provider: Provider,
+        locations: &[GeoPoint],
+        salt: u64,
+    ) -> Self {
+        assert!(!locations.is_empty(), "session needs participants");
+        let attachments = match policy {
+            AssignmentPolicy::NearestToInitiator => {
+                let nearest = registry
+                    .nearest(provider, &locations[0])
+                    .expect("provider has at least one site");
+                let mut candidates: Vec<ServerSite> = registry
+                    .for_provider(provider)
+                    .into_iter()
+                    .filter(|s| s.region() == nearest.region())
+                    .collect();
+                // Deterministic order: nearest first, then registry order.
+                candidates.sort_by(|a, b| {
+                    let da = a.location().distance_km(&locations[0]);
+                    let db = b.location().distance_km(&locations[0]);
+                    da.partial_cmp(&db).expect("finite distances")
+                });
+                let site = candidates[(salt as usize) % candidates.len()];
+                vec![site; locations.len()]
+            }
+            AssignmentPolicy::GeoDistributed => locations
+                .iter()
+                .map(|loc| {
+                    registry
+                        .nearest(provider, loc)
+                        .expect("provider has at least one site")
+                })
+                .collect(),
+        };
+        ServerAssignment {
+            policy,
+            attachments,
+        }
+    }
+
+    /// Distinct sites in use.
+    pub fn distinct_sites(&self) -> Vec<ServerSite> {
+        let mut sites: Vec<ServerSite> = Vec::new();
+        for s in &self.attachments {
+            if !sites
+                .iter()
+                .any(|t| t.label == s.label && t.provider == s.provider)
+            {
+                sites.push(*s);
+            }
+        }
+        sites
+    }
+
+    /// Worst-case client→attachment distance, km — the headline cost of a
+    /// placement policy.
+    pub fn worst_attachment_km(&self, locations: &[GeoPoint]) -> f64 {
+        self.attachments
+            .iter()
+            .zip(locations)
+            .map(|(s, l)| s.location().distance_km(l))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visionsim_geo::cities;
+
+    fn loc(name: &str) -> GeoPoint {
+        cities::by_name(name).unwrap().location
+    }
+
+    #[test]
+    fn initiator_policy_uses_one_site_near_initiator() {
+        let reg = SiteRegistry::us_fleet();
+        // Eastern initiator, Western participant.
+        let locs = [loc("New York, NY"), loc("San Francisco, CA")];
+        let a = ServerAssignment::assign(
+            AssignmentPolicy::NearestToInitiator,
+            &reg,
+            Provider::FaceTime,
+            &locs,
+        );
+        assert_eq!(a.distinct_sites().len(), 1);
+        assert_eq!(a.attachments[0].label, "E");
+        // The Western participant eats the cross-country distance.
+        assert!(a.worst_attachment_km(&locs) > 3_000.0);
+    }
+
+    #[test]
+    fn initiator_location_controls_the_site() {
+        let reg = SiteRegistry::us_fleet();
+        // Same pair, Western initiator this time.
+        let locs = [loc("San Francisco, CA"), loc("New York, NY")];
+        let a = ServerAssignment::assign(
+            AssignmentPolicy::NearestToInitiator,
+            &reg,
+            Provider::FaceTime,
+            &locs,
+        );
+        assert_eq!(a.attachments[0].label, "W");
+    }
+
+    #[test]
+    fn geo_distributed_attaches_everyone_nearby() {
+        let reg = SiteRegistry::us_fleet();
+        let locs = [loc("New York, NY"), loc("San Francisco, CA")];
+        let a = ServerAssignment::assign(
+            AssignmentPolicy::GeoDistributed,
+            &reg,
+            Provider::FaceTime,
+            &locs,
+        );
+        assert_eq!(a.distinct_sites().len(), 2);
+        // Nobody is more than ~500 km from their attachment.
+        assert!(a.worst_attachment_km(&locs) < 500.0);
+    }
+
+    #[test]
+    fn teams_single_site_gives_geo_distribution_nothing() {
+        let reg = SiteRegistry::us_fleet();
+        let locs = [loc("New York, NY"), loc("Miami, FL")];
+        let a = ServerAssignment::assign(
+            AssignmentPolicy::GeoDistributed,
+            &reg,
+            Provider::Teams,
+            &locs,
+        );
+        assert_eq!(a.distinct_sites().len(), 1);
+        assert_eq!(a.attachments[0].label, "W");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs participants")]
+    fn empty_session_is_rejected() {
+        ServerAssignment::assign(
+            AssignmentPolicy::NearestToInitiator,
+            &SiteRegistry::us_fleet(),
+            Provider::Zoom,
+            &[],
+        );
+    }
+}

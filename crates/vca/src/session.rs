@@ -1,0 +1,1193 @@
+//! The telepresence session runner.
+//!
+//! Builds the full measured system end-to-end on the simulated network:
+//!
+//! ```text
+//! sensors → semantic/video encoder → packetizer → QUIC/RTP framing
+//!   → client ──WiFi── AP ──WAN── SFU server ──WAN── AP ──WiFi── client
+//!   → reassembly → decode → visibility pipeline → frame-cost model
+//! ```
+//!
+//! with Wireshark-style taps at every AP, per-second receiver feedback
+//! (in-band RTCP receiver reports for 2D sessions) driving rate
+//! adaptation, the receiver-side persona availability state machine for
+//! spatial sessions (faithful to the paper: the semantic sender has no
+//! feedback loop to close — "poor connection" is a receiver UI state),
+//! Opus-class audio alongside every video/persona stream, and `tc`-style
+//! impairments attachable to any participant's uplink.
+
+use crate::adaptation::{PersonaAvailability, PersonaState, RateController, ReceiverReport};
+use crate::encoder::{VideoEncoder, VideoEncoderConfig};
+use crate::profile::{AppProfile, PersonaType, Topology};
+use crate::scene::{GazeDynamics, SeatingLayout};
+use crate::server::{AssignmentPolicy, ServerAssignment};
+use std::collections::HashMap;
+use visionsim_core::rng::SimRng;
+use visionsim_core::time::{SimDuration, SimTime};
+use visionsim_core::units::DataRate;
+use visionsim_device::device::{Device, DeviceKind};
+use visionsim_geo::cities::City;
+use visionsim_geo::geodb::{GeoDb, NetAddr};
+use visionsim_geo::propagation::LatencyModel;
+use visionsim_geo::sites::{Provider, SiteRegistry};
+use visionsim_net::link::LinkConfig;
+use visionsim_net::netem::Netem;
+use visionsim_net::network::{Network, NodeId};
+use visionsim_net::packet::PortPair;
+use visionsim_net::tap::{TapId, TapRecord};
+use visionsim_render::cost::CostModel;
+use visionsim_render::counters::SessionCounters;
+use visionsim_render::visibility::{PersonaInstance, VisibilityFlags, VisibilityPipeline};
+use visionsim_semantic::codec::{SemanticCodec, SemanticConfig};
+use visionsim_semantic::packetize::{Fragment, FrameAssembler, Packetizer};
+use visionsim_sensor::capture::RgbdCapture;
+use visionsim_sensor::motion::MotionConfig;
+use visionsim_transport::cipher;
+use visionsim_transport::quic::QuicStreamSender;
+use visionsim_transport::rtp::RtpStream;
+
+/// One participant's specification.
+#[derive(Clone, Debug)]
+pub struct ParticipantSpec {
+    /// Display name ("U1").
+    pub name: String,
+    /// Device kind.
+    pub device: DeviceKind,
+    /// Where the participant is.
+    pub city: City,
+}
+
+/// Session configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Which application.
+    pub provider: Provider,
+    /// Participants; index 0 initiates the session.
+    pub participants: Vec<ParticipantSpec>,
+    /// Session length.
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Server assignment policy.
+    pub policy: AssignmentPolicy,
+    /// Optional uplink shaping: (participant index, rate) — `tc tbf`.
+    pub uplink_limit: Option<(usize, DataRate)>,
+    /// Optional time-varying uplink shaping: (participant index, profile)
+    /// — trace playback of a fluctuating access network.
+    pub uplink_profile: Option<(usize, visionsim_net::netem::RateProfile)>,
+    /// Optional extra one-way delay on a participant's uplink — `tc netem`.
+    pub extra_delay: Option<(usize, SimDuration)>,
+    /// Seating layout for spatial rendering.
+    pub layout: SeatingLayout,
+    /// Visibility optimizations active on the headsets.
+    pub visibility: VisibilityFlags,
+}
+
+impl SessionConfig {
+    /// A two-party session between `a_city` and `b_city` on `provider`,
+    /// with the given device kinds. The first participant initiates.
+    pub fn two_party(
+        provider: Provider,
+        a: (DeviceKind, City),
+        b: (DeviceKind, City),
+        seed: u64,
+    ) -> Self {
+        SessionConfig {
+            provider,
+            participants: vec![
+                ParticipantSpec {
+                    name: "U1".into(),
+                    device: a.0,
+                    city: a.1,
+                },
+                ParticipantSpec {
+                    name: "U2".into(),
+                    device: b.0,
+                    city: b.1,
+                },
+            ],
+            duration: SimDuration::from_secs(30),
+            seed,
+            policy: AssignmentPolicy::NearestToInitiator,
+            uplink_limit: None,
+            uplink_profile: None,
+            extra_delay: None,
+            layout: SeatingLayout::Arc,
+            visibility: VisibilityFlags::vision_pro(),
+        }
+    }
+
+    /// An all-Vision-Pro FaceTime session with `n` users in the given
+    /// cities (cycled if fewer cities than users).
+    pub fn facetime_avp(n: usize, cities: &[City], seed: u64) -> Self {
+        assert!(n >= 2, "a session needs at least two users");
+        let participants = (0..n)
+            .map(|i| ParticipantSpec {
+                name: format!("U{}", i + 1),
+                device: DeviceKind::VisionPro,
+                city: cities[i % cities.len()],
+            })
+            .collect();
+        SessionConfig {
+            provider: Provider::FaceTime,
+            participants,
+            duration: SimDuration::from_secs(30),
+            seed,
+            policy: AssignmentPolicy::NearestToInitiator,
+            uplink_limit: None,
+            uplink_profile: None,
+            extra_delay: None,
+            layout: SeatingLayout::Arc,
+            visibility: VisibilityFlags::vision_pro(),
+        }
+    }
+}
+
+/// What a finished session exposes to the measurement tooling.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The persona type the session delivered.
+    pub persona_type: PersonaType,
+    /// The media topology used.
+    pub topology: Topology,
+    /// Server assignment (None for P2P).
+    pub assignment: Option<ServerAssignment>,
+    /// AP tap captures, per participant.
+    pub taps: Vec<Vec<TapRecord>>,
+    /// Client addresses, per participant (the capture "subject").
+    pub client_addrs: Vec<NetAddr>,
+    /// Render counters per participant (populated for Vision Pro receivers
+    /// in spatial sessions).
+    pub counters: Vec<SessionCounters>,
+    /// Persona availability timeline per participant (receiver side).
+    pub availability: Vec<Vec<(SimTime, PersonaState)>>,
+    /// Encoded semantic frame sizes observed at senders (spatial only).
+    pub semantic_frame_sizes: Vec<usize>,
+    /// End-to-end semantic-frame latency samples per receiving
+    /// participant, milliseconds: capture tick → frame fully reassembled
+    /// (spatial sessions only). Motion-to-photon adds up to one display
+    /// frame plus the ~12 ms passthrough pipeline on top.
+    pub e2e_latency_ms: Vec<visionsim_core::stats::Percentiles>,
+    /// The geolocation database covering every node in the session.
+    pub geodb: GeoDb,
+    /// Final encoder quality per participant (2D only; 1.0 otherwise).
+    pub final_quality: Vec<f64>,
+}
+
+impl SessionOutcome {
+    /// Fraction of the session each participant's incoming personas were
+    /// available.
+    pub fn availability_fraction(&self, participant: usize) -> f64 {
+        let timeline = &self.availability[participant];
+        if timeline.is_empty() {
+            return 1.0;
+        }
+        let up = timeline
+            .iter()
+            .filter(|(_, s)| *s == PersonaState::Available)
+            .count();
+        up as f64 / timeline.len() as f64
+    }
+}
+
+/// Per-sender media state.
+#[allow(clippy::large_enum_variant)] // one Spatial per participant; boxing buys nothing
+enum SenderState {
+    Spatial {
+        capture: RgbdCapture,
+        codec: SemanticCodec,
+        packetizer: Packetizer,
+        quic: QuicStreamSender,
+    },
+    Video {
+        encoder: VideoEncoder,
+        rtp: RtpStream,
+        controller: RateController,
+    },
+}
+
+/// Per-receiver bookkeeping for one remote sender.
+struct ReceiverPeer {
+    assembler: FrameAssembler,
+    codec: SemanticCodec,
+    /// RTP loss tracking.
+    last_seq: Option<u16>,
+    lost: u64,
+    received: u64,
+    /// Bytes received this feedback interval.
+    interval_bytes: u64,
+    /// Semantic-frame loss tracking: highest completed frame id, and this
+    /// interval's completed/lost counts. Loss is inferred from id gaps —
+    /// the way a real receiver tells loss from latency.
+    last_frame_id: Option<u64>,
+    frames_completed_interval: u64,
+    frames_lost_interval: u64,
+    abandoned_snapshot: u64,
+}
+
+impl ReceiverPeer {
+    fn new() -> Self {
+        ReceiverPeer {
+            assembler: FrameAssembler::new(),
+            codec: SemanticCodec::new(SemanticConfig::default()),
+            last_seq: None,
+            lost: 0,
+            received: 0,
+            interval_bytes: 0,
+            last_frame_id: None,
+            frames_completed_interval: 0,
+            frames_lost_interval: 0,
+            abandoned_snapshot: 0,
+        }
+    }
+
+    /// Record a completed semantic frame, inferring losses from id gaps.
+    fn on_frame_complete(&mut self, frame_id: u64) {
+        if let Some(last) = self.last_frame_id {
+            if frame_id > last + 1 {
+                self.frames_lost_interval += frame_id - last - 1;
+            }
+        }
+        self.last_frame_id = Some(self.last_frame_id.unwrap_or(0).max(frame_id));
+        self.frames_completed_interval += 1;
+    }
+
+    /// This interval's completeness, draining the interval counters.
+    fn take_interval_completeness(&mut self) -> f64 {
+        let abandoned_now = self.assembler.abandoned();
+        let abandoned_delta = abandoned_now - self.abandoned_snapshot;
+        self.abandoned_snapshot = abandoned_now;
+        let complete = self.frames_completed_interval;
+        let lost = self.frames_lost_interval + abandoned_delta;
+        self.frames_completed_interval = 0;
+        self.frames_lost_interval = 0;
+        if complete + lost == 0 {
+            // Total starvation: nothing even attempted to arrive.
+            return 0.0;
+        }
+        complete as f64 / (complete + lost) as f64
+    }
+}
+
+/// The session engine.
+pub struct SessionRunner {
+    config: SessionConfig,
+}
+
+const QUIC_PORT: u16 = 443;
+const RTP_PORT: u16 = 5_004;
+/// RTCP rides on the RTP port + 1, per convention.
+const RTCP_PORT: u16 = 5_005;
+const MEDIA_PORT_BASE: u16 = 5_000;
+const AUDIO_PORT_BASE: u16 = 5_200;
+const RTCP_PORT_BASE: u16 = 5_400;
+const SESSION_KEY: cipher::Key = [0x5E; 32];
+
+/// Which stream a source port identifies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StreamKind {
+    /// The persona/video media stream.
+    Media,
+    /// The Opus-class audio stream.
+    Audio,
+    /// RTCP feedback.
+    Feedback,
+}
+
+/// Decode a source port into (sender index, stream kind).
+fn sender_of(src_port: u16, n: usize) -> Option<(usize, StreamKind)> {
+    for (base, kind) in [
+        (MEDIA_PORT_BASE, StreamKind::Media),
+        (AUDIO_PORT_BASE, StreamKind::Audio),
+        (RTCP_PORT_BASE, StreamKind::Feedback),
+    ] {
+        if src_port >= base && ((src_port - base) as usize) < n {
+            return Some(((src_port - base) as usize, kind));
+        }
+    }
+    None
+}
+
+/// Opus-class audio: one ~88 B frame every other display tick (≈45 pps,
+/// ≈32 kbps before encapsulation).
+const AUDIO_PAYLOAD: usize = 88;
+const AUDIO_EVERY_TICKS: u64 = 2;
+
+impl SessionRunner {
+    /// A runner for `config`.
+    pub fn new(config: SessionConfig) -> Self {
+        assert!(
+            config.participants.len() >= 2,
+            "a session needs at least two participants"
+        );
+        SessionRunner { config }
+    }
+
+    /// Run the session to completion.
+    pub fn run(self) -> SessionOutcome {
+        let cfg = &self.config;
+        let n = cfg.participants.len();
+        let profile = AppProfile::of(cfg.provider);
+        let devices: Vec<Device> = cfg
+            .participants
+            .iter()
+            .map(|p| Device::new(p.device, &p.name))
+            .collect();
+        let persona_type = profile.persona_type(&devices);
+        let topology = profile.topology(&devices);
+
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let latency = LatencyModel::default();
+        let mut net = Network::new(cfg.seed ^ 0x005E_5510);
+
+        // --- Topology construction -----------------------------------
+        let mut clients = Vec::with_capacity(n);
+        let mut aps = Vec::with_capacity(n);
+        let mut tap_ids: Vec<TapId> = Vec::with_capacity(n);
+        for p in &cfg.participants {
+            let client = net.add_node(
+                &format!("{} ({})", p.name, p.device),
+                "client",
+                p.city.location,
+            );
+            let ap = net.add_node(&format!("{} AP", p.name), "access", p.city.location);
+            let (up, _down) = net.add_duplex(client, ap, LinkConfig::wifi_access());
+            // tc attaches at the client's uplink egress.
+            if let Some((idx, rate)) = cfg.uplink_limit {
+                if idx == clients.len() {
+                    *net.netem_mut(up) = Netem::with_rate_limit(rate);
+                }
+            }
+            if let Some((idx, profile)) = &cfg.uplink_profile {
+                if *idx == clients.len() {
+                    *net.netem_mut(up) = Netem::with_rate_profile(profile.clone());
+                }
+            }
+            if let Some((idx, delay)) = cfg.extra_delay {
+                if idx == clients.len() {
+                    net.netem_mut(up).extra_delay = delay;
+                }
+            }
+            tap_ids.push(net.add_tap(ap));
+            clients.push(client);
+            aps.push(ap);
+        }
+
+        // The measured system only has the US fleet; the geo-distributed
+        // policy (the paper's proposed fix) brings the worldwide fleet.
+        let registry = match cfg.policy {
+            AssignmentPolicy::NearestToInitiator => SiteRegistry::us_fleet(),
+            AssignmentPolicy::GeoDistributed => SiteRegistry::geo_distributed(cfg.provider),
+        };
+        let locations: Vec<_> = cfg.participants.iter().map(|p| p.city.location).collect();
+        let (assignment, servers): (Option<ServerAssignment>, Vec<NodeId>) = match topology {
+            Topology::P2P => {
+                // Direct AP↔AP core path.
+                for i in 0..n {
+                    for j in i + 1..n {
+                        let d = latency.one_way(&locations[i], &locations[j]);
+                        net.add_duplex(aps[i], aps[j], LinkConfig::core(d));
+                    }
+                }
+                (None, vec![])
+            }
+            Topology::Sfu => {
+                let assignment = ServerAssignment::assign_with_salt(
+                    cfg.policy,
+                    &registry,
+                    cfg.provider,
+                    &locations,
+                    cfg.seed,
+                );
+                // One node per distinct site; APs link to their attachment.
+                let mut site_nodes: HashMap<&'static str, NodeId> = HashMap::new();
+                for site in assignment.distinct_sites() {
+                    let node = net.add_node(
+                        &format!("{} {}", site.provider, site.label),
+                        &format!("{}", site.provider),
+                        site.location(),
+                    );
+                    site_nodes.insert(site.label, node);
+                }
+                let mut attach_nodes = Vec::with_capacity(n);
+                for (i, site) in assignment.attachments.iter().enumerate() {
+                    let node = site_nodes[site.label];
+                    let d = latency.one_way(&locations[i], &site.location());
+                    net.add_duplex(aps[i], node, LinkConfig::core(d));
+                    attach_nodes.push(node);
+                }
+                // Private backbone between distinct sites (lower stretch).
+                let distinct = assignment.distinct_sites();
+                for i in 0..distinct.len() {
+                    for j in i + 1..distinct.len() {
+                        let d = latency
+                            .one_way(&distinct[i].location(), &distinct[j].location())
+                            .mul_f64(0.8);
+                        net.add_duplex(
+                            site_nodes[distinct[i].label],
+                            site_nodes[distinct[j].label],
+                            LinkConfig::core(d),
+                        );
+                    }
+                }
+                (Some(assignment), attach_nodes)
+            }
+        };
+
+        // --- Media state ----------------------------------------------
+        // Audio senders: a QUIC stream alongside the persona stream for
+        // spatial sessions, an RTP/Opus flow otherwise.
+        let mut audio_quic: Vec<QuicStreamSender> = (0..n)
+            .map(|i| QuicStreamSender::new(sender_dcid(i), 1, SESSION_KEY))
+            .collect();
+        let mut audio_rtp: Vec<RtpStream> = (0..n)
+            .map(|i| RtpStream::new(
+                visionsim_transport::rtp::PayloadType::OpusAudio,
+                0x1000 + i as u32,
+                48_000,
+            ))
+            .collect();
+        let mut senders: Vec<SenderState> = (0..n)
+            .map(|i| match persona_type {
+                PersonaType::Spatial => SenderState::Spatial {
+                    capture: RgbdCapture::new(MotionConfig::default()),
+                    codec: SemanticCodec::new(SemanticConfig::default()),
+                    packetizer: Packetizer::new(),
+                    quic: QuicStreamSender::new(sender_dcid(i), 0, SESSION_KEY),
+                },
+                PersonaType::TwoD => {
+                    let enc_cfg = VideoEncoderConfig::new(
+                        profile.resolution_2d,
+                        profile.fps_2d,
+                        profile.bits_per_pixel,
+                    );
+                    let full = enc_cfg.bitrate_at(1.0);
+                    SenderState::Video {
+                        encoder: VideoEncoder::new(enc_cfg),
+                        rtp: RtpStream::video(profile.video_pt, i as u32 + 1),
+                        controller: RateController::new(full, DataRate::from_kbps(150)),
+                    }
+                }
+            })
+            .collect();
+
+        // receivers[r] maps sender index → peer state.
+        let mut receivers: Vec<HashMap<usize, ReceiverPeer>> = (0..n)
+            .map(|r| {
+                (0..n)
+                    .filter(|&s| s != r)
+                    .map(|s| (s, ReceiverPeer::new()))
+                    .collect()
+            })
+            .collect();
+
+        // Rendering state per participant (spatial sessions, AVP devices).
+        // Seating with natural irregularity: nobody sits on an exact arc.
+        // Radius and azimuth jitter per persona, plus slow in-seat drift
+        // during the session — together these give Figure 6(a)'s triangle
+        // distributions their spread.
+        let persona_positions: Vec<_> = cfg
+            .layout
+            .positions(n - 1, 1.4)
+            .into_iter()
+            .map(|p| {
+                let scale = rng.jitter(1.0, 0.12) as f32;
+                visionsim_mesh::geometry::Vec3::new(
+                    p.x * scale + rng.normal(0.0, 0.08) as f32,
+                    p.y + rng.normal(0.0, 0.03) as f32,
+                    p.z * scale,
+                )
+            })
+            .collect();
+        let mut seat_drift: Vec<visionsim_mesh::geometry::Vec3> =
+            vec![visionsim_mesh::geometry::Vec3::ZERO; n - 1];
+        let pipeline = VisibilityPipeline::new(cfg.visibility);
+        let cost_model = CostModel::default();
+        // Gaze targets: the remote personas, plus a shared-content window
+        // off to the side attended ~15% of the time (FaceTime sessions
+        // share apps/whiteboards; attention regularly leaves every
+        // persona, which is what gives foveation its Figure 6 bite even in
+        // two-party calls).
+        let ambient = visionsim_mesh::geometry::Vec3::new(0.5, -0.8, -1.0);
+        let mut gazes: Vec<GazeDynamics> = (0..n)
+            .map(|_| {
+                let mut g =
+                    GazeDynamics::new(persona_positions.clone()).with_ambient(ambient, 0.15);
+                // Attention shifts quicken as the group grows (more people
+                // to track in conversation).
+                g.mean_dwell_s = if n > 2 { 1.4 } else { 2.0 };
+                g
+            })
+            .collect();
+        let mut counters: Vec<SessionCounters> = (0..n).map(|_| SessionCounters::new()).collect();
+        let mut availability: Vec<PersonaAvailability> =
+            (0..n).map(|_| PersonaAvailability::new()).collect();
+        let mut availability_log: Vec<Vec<(SimTime, PersonaState)>> = vec![Vec::new(); n];
+        let mut rx_bytes_since_frame: Vec<usize> = vec![0; n];
+        let mut semantic_frame_sizes: Vec<usize> = Vec::new();
+        // Semantic frame ids are assigned sequentially per sender; log the
+        // capture instant of each so receivers can measure end-to-end
+        // latency on completion.
+        let mut frame_sent_at: Vec<Vec<SimTime>> = vec![Vec::new(); n];
+        let mut e2e_latency_ms: Vec<visionsim_core::stats::Percentiles> =
+            (0..n).map(|_| visionsim_core::stats::Percentiles::new()).collect();
+
+        // --- Main loop --------------------------------------------------
+        let tick = SimDuration::FRAME_90FPS;
+        let total_ticks = cfg.duration.as_nanos() / tick.as_nanos();
+        let feedback_every = 90u64; // ~1 s
+        for t in 0..total_ticks {
+            let now = SimTime::from_nanos(t * tick.as_nanos());
+
+            // Senders.
+            for (i, state) in senders.iter_mut().enumerate() {
+                match state {
+                    SenderState::Spatial {
+                        capture,
+                        codec,
+                        packetizer,
+                        quic,
+                    } => {
+                        let frame = capture.next_frame(&mut rng).persona_subset();
+                        let payload = codec.encode(&frame);
+                        semantic_frame_sizes.push(payload.len());
+                        frame_sent_at[i].push(now);
+                        let dst = match topology {
+                            Topology::Sfu => servers[i],
+                            Topology::P2P => clients[1 - i],
+                        };
+                        for frag in packetizer.split(&payload) {
+                            let wire = quic.send(frag.to_bytes());
+                            net.send(
+                                clients[i],
+                                dst,
+                                PortPair::new(5_000 + i as u16, QUIC_PORT),
+                                wire,
+                            );
+                        }
+                    }
+                    SenderState::Video { encoder, rtp, .. } => {
+                        // 2D persona runs at 30 FPS: every third tick.
+                        if t % 3 != 0 {
+                            continue;
+                        }
+                        let size = encoder.next_frame(&mut rng).as_bytes() as usize;
+                        let dst = match topology {
+                            Topology::Sfu => servers[i],
+                            Topology::P2P => clients[1 - i],
+                        };
+                        let chunks = size.div_ceil(1_200).max(1);
+                        for c in 0..chunks {
+                            let len = if c + 1 == chunks {
+                                size - 1_200 * (chunks - 1)
+                            } else {
+                                1_200
+                            };
+                            let pkt = rtp
+                                .packetize(
+                                    now.as_secs_f64(),
+                                    vec![0xAB; len],
+                                    c + 1 == chunks,
+                                )
+                                .to_bytes();
+                            net.send(
+                                clients[i],
+                                dst,
+                                PortPair::new(5_000 + i as u16, RTP_PORT),
+                                pkt,
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Audio: every participant talks intermittently; the audio
+            // stream runs regardless of persona availability.
+            if t % AUDIO_EVERY_TICKS == 0 {
+                for i in 0..n {
+                    let dst = match topology {
+                        Topology::Sfu => servers[i],
+                        Topology::P2P => clients[1 - i],
+                    };
+                    let (wire, dst_port) = match persona_type {
+                        PersonaType::Spatial => {
+                            (audio_quic[i].send(vec![0x0A; AUDIO_PAYLOAD]), QUIC_PORT)
+                        }
+                        PersonaType::TwoD => (
+                            audio_rtp[i]
+                                .packetize(now.as_secs_f64(), vec![0x0A; AUDIO_PAYLOAD], true)
+                                .to_bytes(),
+                            RTP_PORT,
+                        ),
+                    };
+                    net.send(
+                        clients[i],
+                        dst,
+                        PortPair::new(AUDIO_PORT_BASE + i as u16, dst_port),
+                        wire,
+                    );
+                }
+            }
+
+            // Let the network move everything submitted this tick.
+            net.run_until(now + tick);
+
+            // SFU forwarding: servers relay to every other participant.
+            if topology == Topology::Sfu {
+                let mut server_list = servers.clone();
+                server_list.sort_unstable();
+                server_list.dedup();
+                for server in server_list {
+                    for d in net.poll_delivered(server) {
+                        let Some((sender, _)) = sender_of(d.packet.ports.src, n) else {
+                            continue;
+                        };
+                        for (r, &client) in clients.iter().enumerate() {
+                            if r != sender {
+                                net.send(server, client, d.packet.ports, d.packet.payload.clone());
+                            }
+                        }
+                    }
+                }
+                net.run_until(net.now());
+            }
+
+            // Receivers (and, for RTCP, the senders being reported on).
+            for r in 0..n {
+                for d in net.poll_delivered(clients[r]) {
+                    let Some((sender, kind)) = sender_of(d.packet.ports.src, n) else {
+                        continue;
+                    };
+                    // RTCP arriving here means *this* node's outgoing
+                    // stream is being reported on: close the loop.
+                    if kind == StreamKind::Feedback {
+                        if d.packet.corrupted {
+                            continue;
+                        }
+                        if let Some(rr) =
+                            visionsim_transport::rtcp::ReceiverReportPacket::parse(
+                                &d.packet.payload,
+                            )
+                        {
+                            if let SenderState::Video {
+                                encoder,
+                                controller,
+                                ..
+                            } = &mut senders[r]
+                            {
+                                if rr.source_ssrc == r as u32 + 1 {
+                                    let report = ReceiverReport {
+                                        received_bytes: rr.received_bytes as u64,
+                                        loss: rr.loss(),
+                                        interval_s: 1.0,
+                                    };
+                                    let target = controller.on_report(&report);
+                                    encoder.adapt_to(target);
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    let Some(peer) = receivers[r].get_mut(&sender) else {
+                        continue;
+                    };
+                    peer.interval_bytes += d.packet.wire_size().as_bytes();
+                    rx_bytes_since_frame[r] += d.packet.payload.len();
+                    if d.packet.corrupted {
+                        continue;
+                    }
+                    if kind == StreamKind::Audio {
+                        continue; // audio decodes out of band of this study
+                    }
+                    match persona_type {
+                        PersonaType::Spatial => {
+                            if let Some(quic_pkt) = visionsim_transport::quic::QuicPacket::parse(
+                                &d.packet.payload,
+                                &SESSION_KEY,
+                            ) {
+                                let frames = match quic_pkt {
+                                    visionsim_transport::quic::QuicPacket::Short {
+                                        frames, ..
+                                    } => frames,
+                                    visionsim_transport::quic::QuicPacket::Long {
+                                        frames, ..
+                                    } => frames,
+                                };
+                                for f in frames {
+                                    if let visionsim_transport::quic::QuicFrame::Stream {
+                                        data,
+                                        ..
+                                    } = f
+                                    {
+                                        if let Some(frag) = Fragment::parse(&data) {
+                                            if let Some((frame_id, payload)) =
+                                                peer.assembler.push(frag)
+                                            {
+                                                peer.on_frame_complete(frame_id);
+                                                if let Some(&sent) = frame_sent_at
+                                                    [sender]
+                                                    .get(frame_id as usize)
+                                                {
+                                                    e2e_latency_ms[r].push(
+                                                        d.at.since(sent).as_millis_f64(),
+                                                    );
+                                                }
+                                                let _ = peer.codec.decode(&payload);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        PersonaType::TwoD => {
+                            if let Some(pkt) =
+                                visionsim_transport::rtp::RtpPacket::parse(&d.packet.payload)
+                            {
+                                let seq = pkt.header.seq;
+                                if let Some(last) = peer.last_seq {
+                                    let gap = seq.wrapping_sub(last) as u64;
+                                    if gap > 1 && gap < 1_000 {
+                                        peer.lost += gap - 1;
+                                    }
+                                }
+                                peer.last_seq = Some(seq);
+                                peer.received += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Rendering (spatial sessions, per AVP participant).
+            if persona_type == PersonaType::Spatial {
+                for r in 0..n {
+                    if cfg.participants[r].device != DeviceKind::VisionPro {
+                        continue;
+                    }
+                    let viewer = gazes[r].step(tick.as_secs_f64(), &mut rng);
+                    // Slow in-seat drift (OU process, ~10 cm scale).
+                    for d in seat_drift.iter_mut() {
+                        let pull = 0.5 * tick.as_secs_f64() as f32;
+                        let dt_sqrt = (tick.as_secs_f64() as f32).sqrt();
+                        d.x = d.x * (1.0 - pull) + rng.normal(0.0, 0.05) as f32 * dt_sqrt;
+                        d.y = d.y * (1.0 - pull) + rng.normal(0.0, 0.02) as f32 * dt_sqrt;
+                        d.z = d.z * (1.0 - pull) + rng.normal(0.0, 0.05) as f32 * dt_sqrt;
+                    }
+                    let personas: Vec<PersonaInstance> = persona_positions
+                        .iter()
+                        .zip(&seat_drift)
+                        .map(|(&p, &d)| PersonaInstance::paper_ladder(p + d))
+                        .collect();
+                    // Unavailable personas are not rendered.
+                    let renders = if availability[r].is_available() {
+                        pipeline.evaluate(&viewer, &personas)
+                    } else {
+                        Vec::new()
+                    };
+                    let cost =
+                        cost_model.frame(&renders, rx_bytes_since_frame[r], &mut rng);
+                    counters[r].record(now, &cost);
+                    rx_bytes_since_frame[r] = 0;
+                }
+            }
+
+            // Feedback interval.
+            if t > 0 && t % feedback_every == 0 {
+                for r in 0..n {
+                    match persona_type {
+                        PersonaType::Spatial => {
+                            // Per-interval completeness from frame-id gaps
+                            // (delay is not loss; the stream is open-loop).
+                            let mut worst: f64 = 1.0;
+                            for peer in receivers[r].values_mut() {
+                                worst = worst.min(peer.take_interval_completeness());
+                            }
+                            let state = availability[r].on_interval(worst);
+                            availability_log[r].push((now, state));
+                        }
+                        PersonaType::TwoD => {
+                            // Emit in-band RTCP receiver reports toward
+                            // each sender; adaptation happens when (and
+                            // if) the report arrives.
+                            let reports: Vec<(usize, Vec<u8>)> = receivers[r]
+                                .iter_mut()
+                                .map(|(&s, peer)| {
+                                    let loss = if peer.received + peer.lost == 0 {
+                                        0.0
+                                    } else {
+                                        peer.lost as f64
+                                            / (peer.received + peer.lost) as f64
+                                    };
+                                    let rr = visionsim_transport::rtcp::ReceiverReportPacket {
+                                        reporter_ssrc: r as u32 + 1,
+                                        source_ssrc: s as u32 + 1,
+                                        fraction_lost:
+                                            visionsim_transport::rtcp::ReceiverReportPacket::q8_loss(
+                                                loss,
+                                            ),
+                                        cumulative_lost: peer.lost as u32,
+                                        highest_seq: peer.last_seq.unwrap_or(0) as u32,
+                                        received_bytes: peer.interval_bytes as u32,
+                                    };
+                                    peer.interval_bytes = 0;
+                                    peer.lost = 0;
+                                    peer.received = 0;
+                                    (s, rr.to_bytes().to_vec())
+                                })
+                                .collect();
+                            for (s, payload) in reports {
+                                net.send(
+                                    clients[r],
+                                    clients[s],
+                                    PortPair::new(RTCP_PORT_BASE + r as u16, RTCP_PORT),
+                                    payload,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let taps: Vec<Vec<TapRecord>> = tap_ids
+            .iter()
+            .map(|&t| net.tap_records(t).to_vec())
+            .collect();
+        let client_addrs = clients.iter().map(|&c| net.addr(c)).collect();
+        let final_quality = senders
+            .iter()
+            .map(|s| match s {
+                SenderState::Video { encoder, .. } => encoder.quality(),
+                SenderState::Spatial { .. } => 1.0,
+            })
+            .collect();
+        SessionOutcome {
+            persona_type,
+            topology,
+            assignment,
+            taps,
+            client_addrs,
+            counters,
+            availability: availability_log,
+            semantic_frame_sizes,
+            e2e_latency_ms,
+            geodb: net.geodb().clone(),
+            final_quality,
+        }
+    }
+}
+
+/// The 8-byte QUIC connection id encoding the sender index.
+fn sender_dcid(i: usize) -> [u8; 8] {
+    let mut d = *b"PRSN\0\0\0\0";
+    d[4..].copy_from_slice(&(i as u32).to_le_bytes());
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visionsim_capture::analysis::CaptureAnalysis;
+    use visionsim_geo::cities;
+
+    fn sf() -> City {
+        cities::by_name("San Francisco, CA").unwrap()
+    }
+    fn nyc() -> City {
+        cities::by_name("New York, NY").unwrap()
+    }
+
+    fn short(cfg: &mut SessionConfig) {
+        cfg.duration = SimDuration::from_secs(8);
+    }
+
+    #[test]
+    fn facetime_both_avp_is_spatial_quic_via_server() {
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            1,
+        );
+        short(&mut cfg);
+        let out = SessionRunner::new(cfg).run();
+        assert_eq!(out.persona_type, PersonaType::Spatial);
+        assert_eq!(out.topology, Topology::Sfu);
+        let a = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        assert!(a.dominant_protocol().is_quic(), "{:?}", a.dominant_protocol());
+        // Spatial persona uplink lands in the sub-Mbps band (paper: 0.67).
+        let up = a.uplink_rate().as_mbps_f64();
+        assert!((0.3..1.2).contains(&up), "uplink {up} Mbps");
+    }
+
+    #[test]
+    fn facetime_mixed_devices_fall_back_to_rtp_p2p() {
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::MacBook, nyc()),
+            2,
+        );
+        short(&mut cfg);
+        let out = SessionRunner::new(cfg).run();
+        assert_eq!(out.persona_type, PersonaType::TwoD);
+        assert_eq!(out.topology, Topology::P2P);
+        let a = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        assert!(a.dominant_protocol().is_rtp());
+        // FaceTime 2D persona ≈ 2 Mbps — more than spatial.
+        let up = a.uplink_rate().as_mbps_f64();
+        assert!((1.2..3.0).contains(&up), "uplink {up} Mbps");
+    }
+
+    #[test]
+    fn webex_needs_most_bandwidth_zoom_least() {
+        let run = |provider| {
+            let mut cfg = SessionConfig::two_party(
+                provider,
+                (DeviceKind::VisionPro, sf()),
+                (DeviceKind::VisionPro, nyc()),
+                3,
+            );
+            short(&mut cfg);
+            let out = SessionRunner::new(cfg).run();
+            let a = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+            a.uplink_rate().as_mbps_f64()
+        };
+        let webex = run(Provider::Webex);
+        let zoom = run(Provider::Zoom);
+        let teams = run(Provider::Teams);
+        assert!(webex > 4.0, "webex {webex}");
+        assert!((1.0..2.2).contains(&zoom), "zoom {zoom}");
+        assert!(zoom < teams && teams < webex, "ordering: z {zoom} t {teams} w {webex}");
+    }
+
+    #[test]
+    fn sfu_peer_is_the_provider_server_p2p_peer_is_the_client() {
+        // Webex (SFU): the subject's peer is a Webex node.
+        let mut cfg = SessionConfig::two_party(
+            Provider::Webex,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::MacBook, nyc()),
+            4,
+        );
+        short(&mut cfg);
+        let out = SessionRunner::new(cfg).run();
+        let a = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        let peers = a.peers(&out.geodb);
+        assert!(peers.iter().any(|p| p.org.as_deref() == Some("Webex")));
+        // Zoom (P2P at 2 users): the peer is the other client.
+        let mut cfg = SessionConfig::two_party(
+            Provider::Zoom,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::MacBook, nyc()),
+            5,
+        );
+        short(&mut cfg);
+        let out = SessionRunner::new(cfg).run();
+        let a = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        let peers = a.peers(&out.geodb);
+        assert!(peers.iter().all(|p| p.org.as_deref() == Some("client")));
+    }
+
+    #[test]
+    fn constrained_uplink_kills_the_spatial_persona() {
+        // §4.3: below ~700 kbps the persona becomes unavailable.
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            6,
+        );
+        cfg.duration = SimDuration::from_secs(12);
+        cfg.uplink_limit = Some((0, DataRate::from_kbps(400)));
+        let out = SessionRunner::new(cfg).run();
+        // The receiver of the constrained sender (participant 1) sees the
+        // persona go down.
+        let frac = out.availability_fraction(1);
+        assert!(frac < 0.7, "persona stayed up: {frac}");
+    }
+
+    #[test]
+    fn unconstrained_spatial_session_stays_available() {
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            7,
+        );
+        cfg.duration = SimDuration::from_secs(12);
+        let out = SessionRunner::new(cfg).run();
+        assert!(out.availability_fraction(0) > 0.9);
+        assert!(out.availability_fraction(1) > 0.9);
+    }
+
+    #[test]
+    fn constrained_uplink_degrades_2d_quality_instead() {
+        // The adaptive path: Webex under a 1 Mbps uplink drops quality but
+        // keeps flowing.
+        let mut cfg = SessionConfig::two_party(
+            Provider::Webex,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::MacBook, nyc()),
+            8,
+        );
+        cfg.duration = SimDuration::from_secs(15);
+        cfg.uplink_limit = Some((0, DataRate::from_mbps(1)));
+        let out = SessionRunner::new(cfg).run();
+        assert!(
+            out.final_quality[0] < 0.5,
+            "encoder never adapted: q = {}",
+            out.final_quality[0]
+        );
+    }
+
+    #[test]
+    fn five_user_session_renders_in_the_figure6_band() {
+        let cities: Vec<City> = visionsim_geo::cities::us_vantages();
+        let mut cfg = SessionConfig::facetime_avp(5, &cities, 9);
+        cfg.duration = SimDuration::from_secs(8);
+        let out = SessionRunner::new(cfg).run();
+        let gpu = out.counters[0].gpu_boxplot();
+        assert!(
+            (5.0..11.0).contains(&gpu.mean),
+            "five-user GPU mean {} ms",
+            gpu.mean
+        );
+        let tris = out.counters[0].triangles_boxplot();
+        assert!(tris.mean > 78_030.0, "triangles {tris}");
+    }
+
+    #[test]
+    fn audio_flows_alongside_media_in_both_modes() {
+        // Spatial: audio rides QUIC (same connection, stream 1).
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            21,
+        );
+        short(&mut cfg);
+        let out = SessionRunner::new(cfg).run();
+        let audio_pkts = out.taps[0]
+            .iter()
+            .filter(|r| r.src == out.client_addrs[0] && r.ports.src == AUDIO_PORT_BASE)
+            .count();
+        assert!(audio_pkts > 200, "audio packets: {audio_pkts}");
+        // Audio frames classify as QUIC too (same encrypted transport).
+        let a = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        for (key, proto) in a.protocols() {
+            if key.ports.src == AUDIO_PORT_BASE {
+                assert!(proto.is_quic(), "spatial audio spoke {proto:?}");
+            }
+        }
+
+        // 2D: audio is an RTP/Opus flow (PT 111).
+        let mut cfg = SessionConfig::two_party(
+            Provider::Zoom,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::MacBook, nyc()),
+            22,
+        );
+        short(&mut cfg);
+        let out = SessionRunner::new(cfg).run();
+        let a = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        let audio_proto = a
+            .protocols()
+            .into_iter()
+            .find(|(k, _)| k.ports.src == AUDIO_PORT_BASE && k.src == out.client_addrs[0])
+            .map(|(_, p)| p)
+            .expect("audio flow present");
+        assert_eq!(
+            audio_proto,
+            visionsim_transport::classify::WireProtocol::Rtp(
+                visionsim_transport::rtp::PayloadType::OpusAudio
+            )
+        );
+    }
+
+    #[test]
+    fn rtcp_feedback_is_in_band_and_classified() {
+        let mut cfg = SessionConfig::two_party(
+            Provider::Webex,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::MacBook, nyc()),
+            23,
+        );
+        short(&mut cfg);
+        let out = SessionRunner::new(cfg).run();
+        // U2's AP sees the RTCP reports U2 sends toward U1.
+        let a = CaptureAnalysis::new(out.taps[1].iter(), out.client_addrs[1]);
+        let rtcp_flows = a
+            .protocols()
+            .into_iter()
+            .filter(|(k, p)| {
+                k.ports.dst == RTCP_PORT
+                    && *p == visionsim_transport::classify::WireProtocol::Rtcp
+            })
+            .count();
+        assert!(rtcp_flows >= 1, "no classified RTCP flow at U2's AP");
+        // RTCP byte volume must be tiny vs media (it is feedback, not a
+        // stream of its own).
+        let rtcp_bytes: u64 = out.taps[1]
+            .iter()
+            .filter(|r| r.ports.dst == RTCP_PORT)
+            .map(|r| r.wire_size.as_bytes())
+            .sum();
+        let media_bytes: u64 = out.taps[1]
+            .iter()
+            .filter(|r| r.ports.dst != RTCP_PORT)
+            .map(|r| r.wire_size.as_bytes())
+            .sum();
+        assert!(rtcp_bytes * 50 < media_bytes, "RTCP overhead too large");
+    }
+
+    #[test]
+    fn fluctuating_uplink_flaps_the_persona() {
+        // 6 s of plenty, 6 s starved, cycling: the persona must flap —
+        // down during dips, recovered during clear spells.
+        use visionsim_net::netem::RateProfile;
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            77,
+        );
+        cfg.duration = SimDuration::from_secs(24);
+        cfg.uplink_profile = Some((
+            0,
+            RateProfile::new(vec![
+                (SimDuration::from_secs(6), DataRate::from_mbps(10)),
+                (SimDuration::from_secs(6), DataRate::from_kbps(200)),
+            ]),
+        ));
+        let out = SessionRunner::new(cfg).run();
+        let frac = out.availability_fraction(1);
+        assert!(
+            (0.15..0.85).contains(&frac),
+            "persona should flap, availability {frac}"
+        );
+        // The timeline actually transitions both ways.
+        let transitions = out.availability[1]
+            .windows(2)
+            .filter(|w| w[0].1 != w[1].1)
+            .count();
+        assert!(transitions >= 2, "only {transitions} transitions");
+    }
+
+    #[test]
+    fn downlink_scales_with_participant_count() {
+        let cities: Vec<City> = visionsim_geo::cities::us_vantages();
+        let rate_for = |users: usize| {
+            let mut cfg = SessionConfig::facetime_avp(users, &cities, 10 + users as u64);
+            cfg.duration = SimDuration::from_secs(8);
+            let out = SessionRunner::new(cfg).run();
+            let a = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+            a.downlink_rate().as_mbps_f64()
+        };
+        let two = rate_for(2);
+        let four = rate_for(4);
+        // Figure 6(c): ~linear in the number of remote personas.
+        let ratio = four / two;
+        assert!((2.0..4.5).contains(&ratio), "scaling ratio {ratio}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Passive traffic analysis end to end: run a session, export the AP
+//! capture as a real pcap file, and estimate QoE from packet timing alone
+//! — the §5-suggested methodology for encrypted telepresence traffic.
+//!
+//! ```sh
+//! cargo run --release --example passive_analysis
+//! # then: wireshark /tmp/visionsim_u1_ap.pcap
+//! ```
+
+use visionsim::capture::{pcap, qoe};
+use visionsim::core::time::SimDuration;
+use visionsim::core::units::DataRate;
+use visionsim::device::device::DeviceKind;
+use visionsim::geo::{cities, sites::Provider};
+use visionsim::vca::session::{SessionConfig, SessionRunner};
+
+fn main() {
+    let sf = cities::by_name("San Francisco, CA").expect("registry city");
+    let nyc = cities::by_name("New York, NY").expect("registry city");
+
+    // A clean session and a throttled one, side by side.
+    for (label, limit) in [("clean", None), ("throttled to 500 kbps", Some(500u64))] {
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf),
+            (DeviceKind::VisionPro, nyc),
+            1_337,
+        );
+        cfg.duration = SimDuration::from_secs(15);
+        if let Some(kbps) = limit {
+            cfg.uplink_limit = Some((0, DataRate::from_kbps(kbps)));
+        }
+        let out = SessionRunner::new(cfg).run();
+
+        // U2's downlink media flow from U1 (the possibly-throttled one).
+        let media: Vec<_> = out.taps[1]
+            .iter()
+            .filter(|r| r.dst == out.client_addrs[1] && r.ports.src == 5_000)
+            .cloned()
+            .collect();
+        let estimate = qoe::estimate(media.iter(), 90.0);
+        println!("U1 → U2 persona stream ({label}):");
+        println!(
+            "  inferred {} frames at {:.1} FPS, {} stall(s), worst gap {:.0} ms",
+            estimate.frames, estimate.fps, estimate.stalls, estimate.worst_gap_ms
+        );
+        println!("  passive QoE grade: {:.1}/5.0\n", estimate.grade(90.0));
+
+        if limit.is_none() {
+            let image = pcap::to_pcap(out.taps[0].iter());
+            let path = std::env::temp_dir().join("visionsim_u1_ap.pcap");
+            std::fs::write(&path, &image).expect("writable temp dir");
+            println!(
+                "Wrote U1's full AP capture ({} packets, {} bytes) to {}",
+                pcap::parse_pcap(&image).map(|p| p.len()).unwrap_or(0),
+                image.len(),
+                path.display()
+            );
+            println!("Open it in Wireshark — it is a real libpcap file.\n");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: run one immersive telepresence session and read the same
+//! measurements the paper takes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use visionsim::capture::analysis::CaptureAnalysis;
+use visionsim::capture::log::format_capture;
+use visionsim::core::time::SimDuration;
+use visionsim::device::device::DeviceKind;
+use visionsim::geo::{cities, sites::Provider};
+use visionsim::vca::session::{SessionConfig, SessionRunner};
+
+fn main() {
+    // U1 in San Francisco and U2 in New York, both wearing Vision Pro,
+    // on a FaceTime call — the configuration that gets spatial personas.
+    let mut cfg = SessionConfig::two_party(
+        Provider::FaceTime,
+        (
+            DeviceKind::VisionPro,
+            cities::by_name("San Francisco, CA").expect("registry city"),
+        ),
+        (
+            DeviceKind::VisionPro,
+            cities::by_name("New York, NY").expect("registry city"),
+        ),
+        42,
+    );
+    cfg.duration = SimDuration::from_secs(20);
+
+    println!("Running a 20 s two-party FaceTime session (both on Vision Pro)...\n");
+    let outcome = SessionRunner::new(cfg).run();
+
+    println!("persona type : {:?}", outcome.persona_type);
+    println!("topology     : {:?}", outcome.topology);
+    if let Some(a) = &outcome.assignment {
+        println!(
+            "server       : {} {} ({})",
+            a.attachments[0].provider, a.attachments[0].label, a.attachments[0].city.name
+        );
+    }
+
+    // The paper's vantage: Wireshark at U1's AP.
+    let analysis = CaptureAnalysis::new(outcome.taps[0].iter(), outcome.client_addrs[0]);
+    println!("\nU1 AP capture:");
+    println!("  protocol  : {:?}", analysis.dominant_protocol());
+    println!("  uplink    : {}", analysis.uplink_rate());
+    println!("  downlink  : {}", analysis.downlink_rate());
+    println!("  peers     :");
+    for p in analysis.peers(&outcome.geodb) {
+        println!(
+            "    {} — {} ({:?}), {} exchanged",
+            p.addr,
+            p.org.as_deref().unwrap_or("unknown"),
+            p.region,
+            p.bytes
+        );
+    }
+
+    // Rendering counters (the RealityKit analogue).
+    let gpu = outcome.counters[0].gpu_boxplot();
+    let tris = outcome.counters[0].triangles_boxplot();
+    println!("\nU1 rendering:");
+    println!("  GPU ms/frame : {gpu}");
+    println!("  triangles    : {tris}");
+    println!(
+        "  persona availability: {:.0}%",
+        outcome.availability_fraction(0) * 100.0
+    );
+
+    // First packets of the trace, tshark-style.
+    println!("\nFirst 8 captured packets at U1's AP:");
+    println!("{}", format_capture(outcome.taps[0].iter().take(8)));
+}

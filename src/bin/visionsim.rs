@@ -1,0 +1,126 @@
+//! The `visionsim` command-line interface.
+//!
+//! ```text
+//! visionsim <command> [seed]
+//!
+//! commands:
+//!   table1        Table 1 — server RTT matrix
+//!   figure4       Figure 4 — per-app two-party throughput
+//!   figure5       Figure 5 — visibility-aware optimizations
+//!   figure6       Figure 6 — 2-5 user scalability
+//!   delivery      §4.3 — the what-is-being-delivered experiments
+//!   protocols     §4.1 — protocol/topology matrix
+//!   discovery     §4.1 — server-fleet discovery from randomized sessions
+//!   m2p           motion-to-photon latency vs server placement
+//!   extensions    FEC + beyond-five-users extensions
+//!   session       run one spatial session and print its measurements
+//!   all           everything above, in paper order
+//! ```
+//!
+//! The optional trailing integer seeds the simulation (default 2024);
+//! identical seeds reproduce identical output bit-for-bit.
+
+use visionsim::experiments::*;
+
+fn print_usage() -> ! {
+    eprintln!(
+        "usage: visionsim <table1|figure4|figure5|figure6|delivery|protocols|discovery|m2p|extensions|session|all> [seed]"
+    );
+    std::process::exit(2);
+}
+
+fn run_session(seed: u64) {
+    use visionsim::capture::analysis::CaptureAnalysis;
+    use visionsim::core::time::SimDuration;
+    use visionsim::device::device::DeviceKind;
+    use visionsim::geo::{cities, sites::Provider};
+    use visionsim::vca::session::{SessionConfig, SessionRunner};
+
+    let mut cfg = SessionConfig::two_party(
+        Provider::FaceTime,
+        (
+            DeviceKind::VisionPro,
+            cities::by_name("San Francisco, CA").expect("registry city"),
+        ),
+        (
+            DeviceKind::VisionPro,
+            cities::by_name("New York, NY").expect("registry city"),
+        ),
+        seed,
+    );
+    cfg.duration = SimDuration::from_secs(20);
+    let out = SessionRunner::new(cfg).run();
+    let analysis = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+    println!("FaceTime AVP↔AVP, SF↔NYC, 20 s (seed {seed}):");
+    println!("  persona   : {:?} over {:?}", out.persona_type, analysis.dominant_protocol());
+    println!("  uplink    : {}", analysis.uplink_rate());
+    println!("  downlink  : {}", analysis.downlink_rate());
+    println!("  GPU       : {}", out.counters[0].gpu_boxplot());
+    println!("  triangles : {}", out.counters[0].triangles_boxplot());
+    println!(
+        "  available : {:.0}%",
+        out.availability_fraction(0) * 100.0
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(command) = args.get(1) else {
+        print_usage();
+    };
+    let seed: u64 = args
+        .get(2)
+        .map(|s| s.parse().unwrap_or_else(|_| print_usage()))
+        .unwrap_or(2024);
+
+    let run_one = |cmd: &str| match cmd {
+        "table1" => {
+            let t = table1::run(10, seed);
+            println!("{t}");
+            println!("max σ = {:.2} ms (paper: <7 ms)", t.max_std());
+        }
+        "figure4" => println!("{}", figure4::run(3, 30, seed)),
+        "figure5" => println!("{}", figure5::run(500, seed)),
+        "figure6" => println!("{}", figure6::run(30, seed)),
+        "delivery" => {
+            println!("{}", mesh_streaming::run(6, seed));
+            println!("{}", display_latency::run(500, seed));
+            println!("{}", keypoint_rate::run(2_000, seed));
+            println!("{}", rate_adaptation::run(15, seed));
+        }
+        "protocols" => println!("{}", protocols::run(10, seed)),
+        "discovery" => println!("{}", discovery::run(24, 5, seed)),
+        "m2p" => println!("{}", motion_to_photon::run(15, seed)),
+        "extensions" => {
+            println!(
+                "{}",
+                extensions::format_fec(&extensions::fec_under_loss(500, 2_000, seed))
+            );
+            println!(
+                "{}",
+                extensions::format_beyond_five(&extensions::beyond_five_users(15, seed))
+            );
+        }
+        "session" => run_session(seed),
+        _ => print_usage(),
+    };
+
+    if command == "all" {
+        for cmd in [
+            "table1",
+            "figure4",
+            "delivery",
+            "figure5",
+            "protocols",
+            "discovery",
+            "m2p",
+            "figure6",
+            "extensions",
+        ] {
+            println!("=== {cmd} ===");
+            run_one(cmd);
+        }
+    } else {
+        run_one(command);
+    }
+}

@@ -1,0 +1,67 @@
+//! # visionsim
+//!
+//! A simulation and measurement framework that reproduces, end to end, the
+//! measurement study *"A First Look at Immersive Telepresence on Apple
+//! Vision Pro"* (ACM IMC 2024): the devices, sensing and persona codecs,
+//! the four videoconferencing applications' protocol stacks, the wide-area
+//! network between them, the AP-side capture vantage point, and the
+//! analysis tooling — all as deterministic, seedable Rust.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | what it is |
+//! |---|---|---|
+//! | [`core`] | `visionsim-core` | virtual time, events, RNG, statistics |
+//! | [`geo`] | `visionsim-geo` | geodesy, regions, server sites, latency model |
+//! | [`net`] | `visionsim-net` | discrete-event packet network + `tc`-style impairments |
+//! | [`transport`] | `visionsim-transport` | RTP & QUIC-like framing, ChaCha20, classifier |
+//! | [`compress`] | `visionsim-compress` | LZ77+range coder (LZMA-style), rANS |
+//! | [`mesh`] | `visionsim-mesh` | persona meshes, LOD, Draco-style codec |
+//! | [`sensor`] | `visionsim-sensor` | keypoint schemas + synthetic face/hand motion |
+//! | [`semantic`] | `visionsim-semantic` | semantic-communication codec & reconstruction |
+//! | [`render`] | `visionsim-render` | visibility pipeline + calibrated frame costs |
+//! | [`device`] | `visionsim-device` | device models, cameras, display latency |
+//! | [`vca`] | `visionsim-vca` | FaceTime/Zoom/Webex/Teams models + session engine |
+//! | [`capture`] | `visionsim-capture` | Wireshark-at-the-AP flow analysis |
+//! | [`experiments`] | `visionsim-experiments` | one runner per paper table/figure |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use visionsim::vca::session::{SessionConfig, SessionRunner};
+//! use visionsim::vca::profile::PersonaType;
+//! use visionsim::device::device::DeviceKind;
+//! use visionsim::geo::{cities, sites::Provider};
+//! use visionsim::capture::analysis::CaptureAnalysis;
+//! use visionsim::core::time::SimDuration;
+//!
+//! // A two-party FaceTime call, both users on Vision Pro.
+//! let mut cfg = SessionConfig::two_party(
+//!     Provider::FaceTime,
+//!     (DeviceKind::VisionPro, cities::by_name("San Francisco, CA").unwrap()),
+//!     (DeviceKind::VisionPro, cities::by_name("New York, NY").unwrap()),
+//!     42,
+//! );
+//! cfg.duration = SimDuration::from_secs(5);
+//! let outcome = SessionRunner::new(cfg).run();
+//! assert_eq!(outcome.persona_type, PersonaType::Spatial);
+//!
+//! // Analyze U1's AP capture like the paper does with Wireshark.
+//! let analysis = CaptureAnalysis::new(outcome.taps[0].iter(), outcome.client_addrs[0]);
+//! assert!(analysis.dominant_protocol().is_quic());
+//! assert!(analysis.uplink_rate().as_mbps_f64() < 1.5); // semantic, not video
+//! ```
+
+pub use visionsim_capture as capture;
+pub use visionsim_compress as compress;
+pub use visionsim_core as core;
+pub use visionsim_device as device;
+pub use visionsim_experiments as experiments;
+pub use visionsim_geo as geo;
+pub use visionsim_mesh as mesh;
+pub use visionsim_net as net;
+pub use visionsim_render as render;
+pub use visionsim_semantic as semantic;
+pub use visionsim_sensor as sensor;
+pub use visionsim_transport as transport;
+pub use visionsim_vca as vca;
