@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, full test suite, lints, and the thread-count
+# determinism check. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== thread-count determinism =="
+cargo test -q --test determinism
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -2,7 +2,7 @@
 //! delta-vs-absolute semantic coding, foveation granularity, server
 //! placement, and visibility-aware semantic delivery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use visionsim_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use visionsim_experiments::ablations;
 

@@ -2,7 +2,7 @@
 //! keypoint payloads, rANS on mesh residuals, the mesh codec on a persona
 //! head, the semantic codec end-to-end, and ChaCha20.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use visionsim_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use visionsim_compress::{compress, decompress, rans};
 use visionsim_core::rng::SimRng;

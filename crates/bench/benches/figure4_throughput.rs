@@ -3,7 +3,7 @@
 //! Prints the regenerated figure once, then benchmarks one full two-party
 //! session per persona type (the unit of work behind each bar).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use visionsim_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use visionsim_core::time::SimDuration;
 use visionsim_device::device::DeviceKind;

@@ -1,7 +1,7 @@
 //! Figure 5: rendered triangles and GPU time under the visibility
 //! optimizations, plus the visibility pipeline's own evaluation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use visionsim_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use visionsim_mesh::generate::{head_mesh, PERSONA_TRIANGLES};
 use visionsim_mesh::geometry::Vec3;

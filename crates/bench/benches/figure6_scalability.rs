@@ -1,7 +1,7 @@
 //! Figure 6: scalability sweep, 2–5 Vision Pro users, and the per-size
 //! session cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use visionsim_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use visionsim_core::time::SimDuration;
 use visionsim_geo::cities;

@@ -1,0 +1,49 @@
+//! The `core::par` harness itself: the Figure 6 sweep pinned to one worker
+//! vs fanned across all cores. The parallel run must produce bit-identical
+//! output — the bench asserts it before timing anything.
+
+use std::hint::black_box;
+use visionsim_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use visionsim_core::par;
+
+fn bench(c: &mut Criterion) {
+    let seq = {
+        par::set_threads(Some(1));
+        format!("{}", visionsim_experiments::figure6::run(10, 2024))
+    };
+    let parl = {
+        // A forced 4-worker pool exercises real threads even on a
+        // single-core runner, where `None` would resolve to inline.
+        par::set_threads(Some(4));
+        let out = format!("{}", visionsim_experiments::figure6::run(10, 2024));
+        par::set_threads(None);
+        out
+    };
+    assert_eq!(seq, parl, "parallel figure6 must match sequential output");
+    eprintln!("\nfigure6 output bit-identical at 1 and 4 workers");
+
+    let mut g = c.benchmark_group("harness");
+    g.sample_size(10);
+    for &workers in &[Some(1usize), None] {
+        let label = match workers {
+            Some(n) => n.to_string(),
+            None => format!("{}", par::threads()),
+        };
+        g.bench_with_input(
+            BenchmarkId::new("figure6_threads", label),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    par::set_threads(workers);
+                    let fig = visionsim_experiments::figure6::run(10, 2024);
+                    par::set_threads(None);
+                    black_box(fig)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! §4.1 protocol findings, plus the passive classifier's throughput (the
 //! per-packet cost of the Wireshark-style analysis).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use visionsim_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use visionsim_transport::classify::classify;
 use visionsim_transport::quic::QuicStreamSender;

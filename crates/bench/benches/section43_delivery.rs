@@ -2,7 +2,7 @@
 //! mesh-streaming bandwidth floor, display-latency invariance, keypoint
 //! stream rate, and the rate-adaptation cliff.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use visionsim_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

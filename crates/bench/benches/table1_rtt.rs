@@ -2,7 +2,7 @@
 //!
 //! Prints the regenerated table once, then benchmarks the probing run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use visionsim_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -76,15 +76,28 @@ impl CaptureAnalysis {
     /// Boxplot of per-second uplink throughput samples, Mbps (the Figure 4
     /// presentation).
     pub fn uplink_boxplot_mbps(&self) -> BoxplotSummary {
-        self.direction_boxplot(true)
+        Percentiles::from_samples(self.direction_samples(true)).boxplot()
     }
 
     /// Boxplot of per-second downlink throughput samples, Mbps.
     pub fn downlink_boxplot_mbps(&self) -> BoxplotSummary {
-        self.direction_boxplot(false)
+        Percentiles::from_samples(self.direction_samples(false)).boxplot()
     }
 
-    fn direction_boxplot(&self, uplink: bool) -> BoxplotSummary {
+    /// Raw per-second uplink throughput samples, Mbps, ramp-up/teardown
+    /// seconds trimmed. Runners that pool across repeats should pool these
+    /// rather than the boxplot skeleton, so pooled percentiles come from
+    /// the real sample distribution.
+    pub fn uplink_per_second_mbps(&self) -> Vec<f64> {
+        self.direction_samples(true)
+    }
+
+    /// Raw per-second downlink throughput samples, Mbps (trimmed).
+    pub fn downlink_per_second_mbps(&self) -> Vec<f64> {
+        self.direction_samples(false)
+    }
+
+    fn direction_samples(&self, uplink: bool) -> Vec<f64> {
         // Sum same-second samples across flows of the direction.
         let flows = if uplink {
             self.table.uplink_of(self.subject)
@@ -102,7 +115,7 @@ impl CaptureAnalysis {
         if samples.len() > 2 {
             samples = samples[1..samples.len() - 1].to_vec();
         }
-        Percentiles::from_samples(samples).boxplot()
+        samples
     }
 
     /// Per-flow protocol verdicts for the subject's flows (both

@@ -64,11 +64,21 @@ fn best_match(
         if i - c > WINDOW {
             break;
         }
-        let len = match_len(data, c, i, max_len);
-        if len >= MIN_MATCH && best.is_none_or(|(bl, _)| len > bl) {
-            best = Some((len, i - c));
-            if len == max_len {
-                break;
+        // Fast reject: to beat the current best, the candidate must agree
+        // at the byte one past the best length (in-bounds: best < max_len,
+        // else we would have broken out below). Skips the O(len) walk for
+        // most chain entries.
+        let plausible = match best {
+            Some((bl, _)) => data[c + bl] == data[i + bl],
+            None => true,
+        };
+        if plausible {
+            let len = match_len(data, c, i, max_len);
+            if len >= MIN_MATCH && best.is_none_or(|(bl, _)| len > bl) {
+                best = Some((len, i - c));
+                if len == max_len {
+                    break;
+                }
             }
         }
         cand = prev[c % WINDOW];

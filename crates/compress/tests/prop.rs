@@ -1,116 +1,224 @@
-//! Property-based tests: every codec in the crate must round-trip
+//! Randomized property tests: every codec in the crate must round-trip
 //! arbitrary inputs bit-exactly, and decoders must never panic on
-//! arbitrary (malformed) inputs.
+//! arbitrary (malformed) inputs. Cases are deterministic SimRng draws.
 
-use proptest::prelude::*;
 use visionsim_compress::bitio::{BitReader, BitWriter};
 use visionsim_compress::lz77;
 use visionsim_compress::lzma_like::{compress, decompress};
 use visionsim_compress::range::{BitModel, RangeDecoder, RangeEncoder};
 use visionsim_compress::rans;
 use visionsim_compress::varint;
+use visionsim_core::par::derive_seed;
+use visionsim_core::rng::SimRng;
 
-proptest! {
-    #[test]
-    fn varint_u64_round_trips(v in any::<u64>()) {
-        let mut buf = Vec::new();
-        varint::write_u64(&mut buf, v);
-        let (got, n) = varint::read_u64(&buf).expect("wrote it");
-        prop_assert_eq!(got, v);
-        prop_assert_eq!(n, buf.len());
+const CASES: u64 = 96;
+
+fn case_rng(label: &str, i: u64) -> SimRng {
+    SimRng::seed_from_u64(derive_seed(0xC0DE_C0DE, label, i))
+}
+
+fn bytes(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+    let n = rng.uniform_u64(0, max_len) as usize;
+    let mut v = vec![0u8; n];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// Byte strings the matcher actually likes: runs, periods, and text-ish
+/// symbols — random bytes alone never exercise long matches.
+fn compressible_bytes(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+    let n = rng.uniform_u64(0, max_len) as usize;
+    let alphabet = rng.uniform_u64(2, 16) as u8;
+    let mut v = Vec::with_capacity(n);
+    while v.len() < n {
+        if rng.chance(0.3) && !v.is_empty() {
+            // Copy a chunk from earlier (plants real matches).
+            let start = rng.index(v.len());
+            let len = (rng.uniform_u64(1, 40) as usize).min(v.len() - start).min(n - v.len());
+            for k in 0..len {
+                let b = v[start + k];
+                v.push(b);
+            }
+        } else {
+            v.push(rng.uniform_u64(0, alphabet as u64 - 1) as u8);
+        }
     }
+    v
+}
 
-    #[test]
-    fn varint_i64_round_trips(v in any::<i64>()) {
-        let mut buf = Vec::new();
-        varint::write_i64(&mut buf, v);
-        let (got, n) = varint::read_i64(&buf).expect("wrote it");
-        prop_assert_eq!(got, v);
-        prop_assert_eq!(n, buf.len());
+#[test]
+fn varint_u64_round_trips() {
+    for i in 0..CASES {
+        let mut rng = case_rng("varint_u64", i);
+        for _ in 0..32 {
+            let v = rng.next_u64() >> rng.uniform_u64(0, 63);
+            let mut buf = Vec::new();
+            varint::write_u64(&mut buf, v);
+            let (got, n) = varint::read_u64(&buf).expect("wrote it");
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
     }
+}
 
-    #[test]
-    fn varint_read_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..20)) {
-        let _ = varint::read_u64(&bytes);
-        let _ = varint::read_i64(&bytes);
+#[test]
+fn varint_i64_round_trips() {
+    for i in 0..CASES {
+        let mut rng = case_rng("varint_i64", i);
+        for _ in 0..32 {
+            let v = (rng.next_u64() >> rng.uniform_u64(0, 63)) as i64
+                * if rng.chance(0.5) { -1 } else { 1 };
+            let mut buf = Vec::new();
+            varint::write_i64(&mut buf, v);
+            let (got, n) = varint::read_i64(&buf).expect("wrote it");
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
     }
+}
 
-    #[test]
-    fn bitio_round_trips(values in prop::collection::vec((any::<u64>(), 1u8..=64), 0..100)) {
+#[test]
+fn varint_read_never_panics() {
+    for i in 0..CASES {
+        let mut rng = case_rng("varint_garbage", i);
+        let garbage = bytes(&mut rng, 20);
+        let _ = varint::read_u64(&garbage);
+        let _ = varint::read_i64(&garbage);
+    }
+}
+
+#[test]
+fn bitio_round_trips() {
+    for i in 0..CASES {
+        let mut rng = case_rng("bitio", i);
+        let count = rng.uniform_u64(0, 99) as usize;
+        let values: Vec<(u64, u8)> = (0..count)
+            .map(|_| (rng.next_u64(), rng.uniform_u64(1, 64) as u8))
+            .collect();
         let mut w = BitWriter::new();
         for &(v, n) in &values {
             let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
             w.write_bits(masked, n);
         }
-        let bytes = w.into_bytes();
-        let mut r = BitReader::new(&bytes);
+        let encoded = w.into_bytes();
+        let mut r = BitReader::new(&encoded);
         for &(v, n) in &values {
             let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
-            prop_assert_eq!(r.read_bits(n), Some(masked));
+            assert_eq!(r.read_bits(n), Some(masked));
         }
     }
+}
 
-    #[test]
-    fn lz77_round_trips(data in prop::collection::vec(any::<u8>(), 0..4_000)) {
+#[test]
+fn lz77_round_trips() {
+    for i in 0..CASES {
+        let mut rng = case_rng("lz77", i);
+        let data = if i % 2 == 0 {
+            bytes(&mut rng, 4_000)
+        } else {
+            compressible_bytes(&mut rng, 4_000)
+        };
         let tokens = lz77::tokenize(&data);
-        prop_assert_eq!(lz77::detokenize(&tokens), data);
+        assert_eq!(lz77::detokenize(&tokens), data);
     }
+}
 
-    #[test]
-    fn lz77_round_trips_repetitive(
-        unit in prop::collection::vec(any::<u8>(), 1..20),
-        reps in 1usize..200,
-    ) {
+#[test]
+fn lz77_round_trips_repetitive() {
+    for i in 0..CASES {
+        let mut rng = case_rng("lz77_repetitive", i);
+        let unit = {
+            let n = rng.uniform_u64(1, 19) as usize;
+            let mut u = vec![0u8; n];
+            rng.fill_bytes(&mut u);
+            u
+        };
+        let reps = rng.uniform_u64(1, 199) as usize;
         let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
         let tokens = lz77::tokenize(&data);
-        prop_assert_eq!(lz77::detokenize(&tokens), data);
+        assert_eq!(lz77::detokenize(&tokens), data);
     }
+}
 
-    #[test]
-    fn lzma_like_round_trips(data in prop::collection::vec(any::<u8>(), 0..3_000)) {
+#[test]
+fn lzma_like_round_trips() {
+    for i in 0..CASES {
+        let mut rng = case_rng("lzma_like", i);
+        let data = if i % 2 == 0 {
+            bytes(&mut rng, 3_000)
+        } else {
+            compressible_bytes(&mut rng, 3_000)
+        };
         let packed = compress(&data);
-        prop_assert_eq!(decompress(&packed).expect("own output"), data);
+        assert_eq!(decompress(&packed).expect("own output"), data);
     }
+}
 
-    #[test]
-    fn lzma_like_decompress_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn lzma_like_decompress_never_panics() {
+    for i in 0..CASES {
+        let mut rng = case_rng("lzma_garbage", i);
+        let garbage = bytes(&mut rng, 300);
         let _ = decompress(&garbage);
     }
+}
 
-    #[test]
-    fn rans_round_trips(data in prop::collection::vec(any::<u8>(), 0..3_000)) {
+#[test]
+fn rans_round_trips() {
+    for i in 0..CASES {
+        let mut rng = case_rng("rans", i);
+        let data = if i % 2 == 0 {
+            bytes(&mut rng, 3_000)
+        } else {
+            compressible_bytes(&mut rng, 3_000)
+        };
         let packed = rans::encode(&data);
-        prop_assert_eq!(rans::decode(&packed).expect("own output"), data);
+        assert_eq!(rans::decode(&packed).expect("own output"), data);
     }
+}
 
-    #[test]
-    fn rans_decode_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn rans_decode_never_panics() {
+    for i in 0..CASES {
+        let mut rng = case_rng("rans_garbage", i);
+        let garbage = bytes(&mut rng, 300);
         let _ = rans::decode(&garbage);
     }
+}
 
-    #[test]
-    fn range_coder_round_trips_bit_patterns(bits in prop::collection::vec(any::<bool>(), 0..2_000)) {
+#[test]
+fn range_coder_round_trips_bit_patterns() {
+    for i in 0..CASES {
+        let mut rng = case_rng("range_coder", i);
+        let n = rng.uniform_u64(0, 2_000) as usize;
+        // Biased bit streams exercise the adaptive model harder than fair ones.
+        let p = rng.uniform();
+        let pattern: Vec<bool> = (0..n).map(|_| rng.chance(p)).collect();
         let mut enc = RangeEncoder::new();
         let mut m = BitModel::new();
-        for &b in &bits {
+        for &b in &pattern {
             enc.encode_bit(&mut m, b);
         }
-        let bytes = enc.finish();
-        let mut dec = RangeDecoder::new(&bytes).expect("5-byte preamble");
+        let encoded = enc.finish();
+        let mut dec = RangeDecoder::new(&encoded).expect("5-byte preamble");
         let mut m = BitModel::new();
-        for &b in &bits {
-            prop_assert_eq!(dec.decode_bit(&mut m), b);
+        for &b in &pattern {
+            assert_eq!(dec.decode_bit(&mut m), b);
         }
     }
+}
 
-    /// Compressing already-compressed data must still round-trip (the
-    /// classic double-compression stress).
-    #[test]
-    fn double_compression_round_trips(data in prop::collection::vec(any::<u8>(), 0..1_000)) {
+/// Compressing already-compressed data must still round-trip (the
+/// classic double-compression stress).
+#[test]
+fn double_compression_round_trips() {
+    for i in 0..CASES {
+        let mut rng = case_rng("double_compress", i);
+        let data = compressible_bytes(&mut rng, 1_000);
         let once = compress(&data);
         let twice = compress(&once);
         let back_once = decompress(&twice).expect("own output");
-        prop_assert_eq!(&back_once, &once);
-        prop_assert_eq!(decompress(&back_once).expect("own output"), data);
+        assert_eq!(&back_once, &once);
+        assert_eq!(decompress(&back_once).expect("own output"), data);
     }
 }

@@ -16,8 +16,11 @@
 //! * [`stats`] — streaming summary statistics, exact percentiles, and the
 //!   boxplot summaries used by the paper's figures.
 //! * [`series`] — time-series recording (e.g. throughput over a session).
+//! * [`par`] — deterministic parallel execution ([`par::par_map`]) and
+//!   collision-free per-cell seed derivation ([`par::derive_seed`]).
 
 pub mod event;
+pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -25,6 +28,7 @@ pub mod time;
 pub mod units;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use par::{derive_seed, par_map};
 pub use rng::SimRng;
 pub use series::{RateSeries, TimeSeries};
 pub use stats::{BoxplotSummary, Percentiles, StreamingStats};

@@ -1,42 +1,91 @@
 //! Deterministic random-number generation for the simulator.
 //!
-//! [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds the distribution
-//! samplers the workspace needs (normal, lognormal, exponential, Pareto,
-//! jittered values). Implementing the samplers in-tree keeps the dependency
-//! surface to `rand` itself and makes the sampling algorithms part of the
-//! reviewed reproduction code.
+//! [`SimRng`] is a self-contained xoshiro256++ generator seeded through a
+//! SplitMix64 expansion, with the distribution samplers the workspace needs
+//! (normal, lognormal, exponential, Pareto, jittered values) implemented
+//! in-tree. Keeping the whole generator in-tree makes the sampling
+//! algorithms part of the reviewed reproduction code and leaves the
+//! workspace with zero external dependencies.
 //!
 //! Every stochastic component takes a `&mut SimRng` explicitly; nothing in
 //! the workspace reads ambient entropy, so a run is a pure function of its
 //! seeds.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// One step of the SplitMix64 sequence (Steele, Lea & Flood 2014). Used to
+/// expand 64-bit seeds into full generator state and to derive
+/// collision-free child seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-/// A deterministic, seedable random source.
+/// A deterministic, seedable random source (xoshiro256++).
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
-    /// Create a generator from a 64-bit seed.
+    /// Create a generator from a 64-bit seed. The seed is expanded through
+    /// SplitMix64 so that similar seeds (0, 1, 2, ...) still yield
+    /// decorrelated state.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut st = seed;
+        let s = [
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+        ];
+        SimRng { s }
     }
 
     /// Derive an independent child generator. Useful for giving each
     /// subsystem its own stream so that adding draws in one subsystem does
     /// not perturb another.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.gen())
+        SimRng::seed_from_u64(self.next_u64())
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Next raw 64-bit output (xoshiro256++ core step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of the 64-bit step).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with generator output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform in `[0, 1)` with full 53-bit mantissa resolution.
+    #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`. Panics if `lo > hi`; returns `lo` when equal.
@@ -45,19 +94,38 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        loop {
+            // Rounding can land exactly on `hi` for extreme spans; resample
+            // to honour the half-open contract.
+            let v = lo + self.uniform() * (hi - lo);
+            if v < hi {
+                return v;
+            }
+        }
     }
 
-    /// Uniform integer in `[lo, hi]` inclusive.
+    /// Uniform integer in `[lo, hi]` inclusive, unbiased (Lemire's
+    /// multiply-shift rejection).
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform_u64: lo {lo} > hi {hi}");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let range = span + 1;
+        let threshold = range.wrapping_neg() % range;
+        loop {
+            let m = (self.next_u64() as u128) * (range as u128);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform index in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: empty range");
-        self.inner.gen_range(0..n)
+        self.uniform_u64(0, n as u64 - 1) as usize
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -145,21 +213,6 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +245,42 @@ mod tests {
         let mut c2 = a.fork();
         let other: Vec<u64> = (0..5).map(|_| c2.next_u64()).collect();
         assert_ne!(child_seed_stream, other);
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut r = SimRng::seed_from_u64(50);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn uniform_u64_is_unbiased_over_small_range() {
+        let mut r = SimRng::seed_from_u64(51);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.uniform_u64(0, 6) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn uniform_u64_full_range_does_not_hang() {
+        let mut r = SimRng::seed_from_u64(52);
+        let _ = r.uniform_u64(0, u64::MAX);
+        let _ = r.uniform_u64(5, 5);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::seed_from_u64(53);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 
     #[test]

@@ -1,99 +1,144 @@
-//! Property-based tests for the core substrate.
+//! Randomized property tests for the core substrate.
+//!
+//! Each property is exercised over many deterministic, seed-derived cases
+//! (the registry is offline, so the harness is a plain loop over
+//! `SimRng`-generated inputs instead of proptest).
 
-use proptest::prelude::*;
 use visionsim_core::event::EventQueue;
+use visionsim_core::par::derive_seed;
+use visionsim_core::rng::SimRng;
 use visionsim_core::stats::{Percentiles, StreamingStats};
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::{ByteSize, DataRate};
 
-proptest! {
-    /// Percentiles are monotone in p and bounded by min/max.
-    #[test]
-    fn percentiles_monotone(samples in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+const CASES: u64 = 128;
+
+fn case_rng(label: &str, i: u64) -> SimRng {
+    SimRng::seed_from_u64(derive_seed(0xC04E_0001, label, i))
+}
+
+fn vec_f64(rng: &mut SimRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let n = rng.uniform_u64(min_len as u64, max_len as u64) as usize;
+    (0..n).map(|_| rng.uniform_range(lo, hi)).collect()
+}
+
+/// Percentiles are monotone in p and bounded by min/max.
+#[test]
+fn percentiles_monotone() {
+    for i in 0..CASES {
+        let mut rng = case_rng("percentiles_monotone", i);
+        let samples = vec_f64(&mut rng, -1e9, 1e9, 1, 200);
         let mut p = Percentiles::from_samples(samples.clone());
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut last = f64::NEG_INFINITY;
         for q in [0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 100.0] {
             let v = p.percentile(q);
-            prop_assert!(v >= last - 1e-9, "non-monotone at {q}");
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= last - 1e-9, "non-monotone at {q}");
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
             last = v;
         }
     }
+}
 
-    /// Welford streaming stats agree with the two-pass computation.
-    #[test]
-    fn streaming_stats_match_two_pass(samples in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+/// Welford streaming stats agree with the two-pass computation.
+#[test]
+fn streaming_stats_match_two_pass() {
+    for i in 0..CASES {
+        let mut rng = case_rng("streaming_two_pass", i);
+        let samples = vec_f64(&mut rng, -1e6, 1e6, 2, 200);
         let mut s = StreamingStats::new();
         for &x in &samples {
             s.push(x);
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.std_dev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
     }
+}
 
-    /// Merging two accumulators equals accumulating the concatenation.
-    #[test]
-    fn streaming_merge_is_concatenation(
-        a in prop::collection::vec(-1e6f64..1e6, 1..100),
-        b in prop::collection::vec(-1e6f64..1e6, 1..100),
-    ) {
+/// Merging two accumulators equals accumulating the concatenation.
+#[test]
+fn streaming_merge_is_concatenation() {
+    for i in 0..CASES {
+        let mut rng = case_rng("streaming_merge", i);
+        let a = vec_f64(&mut rng, -1e6, 1e6, 1, 100);
+        let b = vec_f64(&mut rng, -1e6, 1e6, 1, 100);
         let mut sa = StreamingStats::new();
-        for &x in &a { sa.push(x); }
+        for &x in &a {
+            sa.push(x);
+        }
         let mut sb = StreamingStats::new();
-        for &x in &b { sb.push(x); }
+        for &x in &b {
+            sb.push(x);
+        }
         let mut all = StreamingStats::new();
-        for &x in a.iter().chain(&b) { all.push(x); }
+        for &x in a.iter().chain(&b) {
+            all.push(x);
+        }
         sa.merge(&sb);
-        prop_assert_eq!(sa.count(), all.count());
-        prop_assert!((sa.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
-        prop_assert!((sa.std_dev() - all.std_dev()).abs() < 1e-5 * (1.0 + all.std_dev()));
+        assert_eq!(sa.count(), all.count());
+        assert!((sa.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        assert!((sa.std_dev() - all.std_dev()).abs() < 1e-5 * (1.0 + all.std_dev()));
     }
+}
 
-    /// The event queue pops every scheduled event exactly once, in
-    /// non-decreasing time order, with FIFO tie-breaking.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..300)) {
+/// The event queue pops every scheduled event exactly once, in
+/// non-decreasing time order, with FIFO tie-breaking.
+#[test]
+fn event_queue_total_order() {
+    for i in 0..CASES {
+        let mut rng = case_rng("event_queue_order", i);
+        let n = rng.uniform_u64(1, 300) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 999)).collect();
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_nanos(t), i);
+        for (k, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), k);
         }
         let mut popped = Vec::new();
         let mut last = (SimTime::ZERO, 0usize);
         while let Some(ev) = q.pop() {
-            prop_assert!(ev.at >= last.0, "time went backwards");
+            assert!(ev.at >= last.0, "time went backwards");
             if ev.at == last.0 && !popped.is_empty() {
-                prop_assert!(ev.payload > last.1, "FIFO tie-break violated");
+                assert!(ev.payload > last.1, "FIFO tie-break violated");
             }
             last = (ev.at, ev.payload);
             popped.push(ev.payload);
         }
         let mut sorted = popped.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..times.len()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..times.len()).collect::<Vec<_>>());
     }
+}
 
-    /// transmit_time and bytes_in are mutually consistent.
-    #[test]
-    fn rate_time_size_consistency(mbps in 1u64..10_000, kb in 1u64..100_000) {
+/// transmit_time and bytes_in are mutually consistent.
+#[test]
+fn rate_time_size_consistency() {
+    for i in 0..CASES {
+        let mut rng = case_rng("rate_time_size", i);
+        let mbps = rng.uniform_u64(1, 9_999);
+        let kb = rng.uniform_u64(1, 99_999);
         let rate = DataRate::from_mbps(mbps);
         let size = ByteSize::from_kb(kb);
         let t = rate.transmit_time(size).expect("positive rate");
         let back = rate.bytes_in(t);
         // Rounding to nanoseconds loses at most a few bytes.
         let diff = size.as_bytes().abs_diff(back.as_bytes());
-        prop_assert!(diff <= 1 + rate.as_bps() / 8 / 1_000_000, "diff {diff}");
+        assert!(diff <= 1 + rate.as_bps() / 8 / 1_000_000, "diff {diff}");
     }
+}
 
-    /// Duration arithmetic: (a + b) - b == a.
-    #[test]
-    fn duration_add_sub_inverse(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+/// Duration arithmetic: (a + b) - b == a.
+#[test]
+fn duration_add_sub_inverse() {
+    for i in 0..CASES {
+        let mut rng = case_rng("duration_inverse", i);
+        let a = rng.uniform_u64(0, u32::MAX as u64 - 1);
+        let b = rng.uniform_u64(0, u32::MAX as u64 - 1);
         let da = SimDuration::from_nanos(a);
         let db = SimDuration::from_nanos(b);
-        prop_assert_eq!((da + db) - db, da);
+        assert_eq!((da + db) - db, da);
     }
 }

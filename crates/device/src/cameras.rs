@@ -13,8 +13,9 @@
 //! session setup), and at runtime the downward + internal cameras produce
 //! the 74-keypoint semantic frames.
 
+use std::sync::Arc;
 use visionsim_core::rng::SimRng;
-use visionsim_mesh::generate::{head_mesh, PERSONA_TRIANGLES};
+use visionsim_mesh::generate::PERSONA_TRIANGLES;
 use visionsim_mesh::geometry::TriangleMesh;
 use visionsim_sensor::capture::RgbdCapture;
 use visionsim_sensor::keypoints::KeypointFrame;
@@ -98,8 +99,10 @@ impl CameraSuite {
 /// The persona capture pipeline on one headset.
 #[derive(Debug)]
 pub struct PersonaCapturePipeline {
-    /// The pre-captured persona mesh (offline TrueDepth scan).
-    persona_mesh: TriangleMesh,
+    /// The pre-captured persona mesh (offline TrueDepth scan; shared from
+    /// the process-wide mesh cache — every session of the same user seed
+    /// reuses one allocation).
+    persona_mesh: Arc<TriangleMesh>,
     /// Live keypoint source (downward + internal cameras).
     live: RgbdCapture,
 }
@@ -109,7 +112,7 @@ impl PersonaCapturePipeline {
     /// up live tracking.
     pub fn pre_capture(seed: u64) -> Self {
         PersonaCapturePipeline {
-            persona_mesh: head_mesh(PERSONA_TRIANGLES, seed),
+            persona_mesh: visionsim_mesh::cache::head(PERSONA_TRIANGLES, seed),
             live: RgbdCapture::new(MotionConfig::default()),
         }
     }

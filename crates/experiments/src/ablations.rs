@@ -112,25 +112,24 @@ pub fn foveation_granularity(frames: usize, seed: u64) -> Vec<FoveationPoint> {
         .iter()
         .map(|&p| PersonaInstance::paper_ladder(p))
         .collect();
-    [5.0f32, 10.0, 18.0, 30.0, 50.0]
-        .into_iter()
-        .map(|fovea_deg| {
-            let mut pipeline = VisibilityPipeline::new(VisibilityFlags::vision_pro());
-            pipeline.fovea_deg = fovea_deg;
-            let mut gaze = GazeDynamics::new(positions.clone());
-            let mut rng = SimRng::seed_from_u64(seed);
-            let mut total = 0usize;
-            for _ in 0..frames {
-                let viewer = gaze.step(1.0 / 90.0, &mut rng);
-                let renders = pipeline.evaluate(&viewer, &personas);
-                total += VisibilityPipeline::total_triangles(&renders);
-            }
-            FoveationPoint {
-                fovea_deg,
-                mean_triangles: total as f64 / frames as f64,
-            }
-        })
-        .collect()
+    // Each angle is an independent cell; every cell replays the *same*
+    // seed-derived gaze trace so the sweep stays a paired comparison.
+    visionsim_core::par::par_map(vec![5.0f32, 10.0, 18.0, 30.0, 50.0], |fovea_deg| {
+        let mut pipeline = VisibilityPipeline::new(VisibilityFlags::vision_pro());
+        pipeline.fovea_deg = fovea_deg;
+        let mut gaze = GazeDynamics::new(positions.clone());
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut total = 0usize;
+        for _ in 0..frames {
+            let viewer = gaze.step(1.0 / 90.0, &mut rng);
+            let renders = pipeline.evaluate(&viewer, &personas);
+            total += VisibilityPipeline::total_triangles(&renders);
+        }
+        FoveationPoint {
+            fovea_deg,
+            mean_triangles: total as f64 / frames as f64,
+        }
+    })
 }
 
 /// Placement-policy comparison on an intercontinental roster.

@@ -3,46 +3,67 @@
 //! ```sh
 //! cargo run --release -p visionsim-experiments --bin regenerate
 //! ```
+//!
+//! Each artifact reports its wall-clock time, and the run ends with a
+//! sequential-vs-parallel speedup line for the Figure 6 sweep (the output
+//! itself is bit-identical at any thread count; see `core::par`).
 
+use std::time::Instant;
 use visionsim_experiments::*;
+
+/// Run one artifact, print its output, and report the wall-clock spent.
+fn timed<T: std::fmt::Display>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    println!("{out}");
+    println!("[{label}: {:.2}s]\n", start.elapsed().as_secs_f64());
+    out
+}
 
 fn main() {
     let seed = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2024u64);
-    println!("=== visionsim: regenerating all paper artifacts (seed {seed}) ===\n");
+    let wall = Instant::now();
+    println!(
+        "=== visionsim: regenerating all paper artifacts (seed {seed}, {} threads) ===\n",
+        visionsim_core::par::threads()
+    );
 
     println!("--- Table 1 ---");
+    let start = Instant::now();
     let t1 = table1::run(10, seed);
     println!("{t1}");
-    println!("max σ = {:.2} ms (paper: <7 ms)\n", t1.max_std());
+    println!("max σ = {:.2} ms (paper: <7 ms)", t1.max_std());
+    println!("[table1: {:.2}s]\n", start.elapsed().as_secs_f64());
 
     println!("--- Figure 4 ---");
-    println!("{}", figure4::run(3, 30, seed));
+    timed("figure4", || figure4::run(3, 30, seed));
 
     println!("--- §4.3: What is being delivered? ---");
-    println!("{}", mesh_streaming::run(6, seed));
-    println!("{}", display_latency::run(500, seed));
-    println!("{}", keypoint_rate::run(2_000, seed));
-    println!("{}", rate_adaptation::run(15, seed));
+    timed("mesh_streaming", || mesh_streaming::run(6, seed));
+    timed("display_latency", || display_latency::run(500, seed));
+    timed("keypoint_rate", || keypoint_rate::run(2_000, seed));
+    timed("rate_adaptation", || rate_adaptation::run(15, seed));
 
     println!("--- Figure 5 ---");
-    println!("{}", figure5::run(500, seed));
+    timed("figure5", || figure5::run(500, seed));
 
     println!("--- §4.1 server discovery (methodology) ---");
-    println!("{}", discovery::run(24, 5, seed));
+    timed("discovery", || discovery::run(24, 5, seed));
 
     println!("--- §4.1 protocols ---");
-    println!("{}", protocols::run(10, seed));
+    timed("protocols", || protocols::run(10, seed));
 
     println!("--- Motion-to-photon vs placement ---");
-    println!("{}", motion_to_photon::run(15, seed));
+    timed("motion_to_photon", || motion_to_photon::run(15, seed));
 
     println!("--- Figure 6 ---");
-    println!("{}", figure6::run(30, seed));
+    timed("figure6", || figure6::run(30, seed));
 
     println!("--- Ablations ---");
+    let start = Instant::now();
     let coder = ablations::entropy_coder(200_000, seed);
     println!(
         "entropy coder on {} B residuals: rANS {} B vs LZ+range {} B",
@@ -71,11 +92,37 @@ fn main() {
         "visibility-aware delivery: {:.0}% uplink saving available",
         culling.saving_percent
     );
+    println!("[ablations: {:.2}s]\n", start.elapsed().as_secs_f64());
 
-    println!("\n--- Extensions (beyond the measured system) ---");
+    println!("--- Extensions (beyond the measured system) ---");
+    let start = Instant::now();
     println!("{}", extensions::format_fec(&extensions::fec_under_loss(500, 2_000, seed)));
     println!(
         "{}",
         extensions::format_beyond_five(&extensions::beyond_five_users(15, seed))
+    );
+    println!("[extensions: {:.2}s]\n", start.elapsed().as_secs_f64());
+
+    let par_total = wall.elapsed().as_secs_f64();
+
+    // Speedup check: re-run the Figure 6 sweep pinned to one worker and
+    // compare against the parallel wall-clock just measured.
+    let start = Instant::now();
+    let fig_par = figure6::run(30, seed);
+    let par_secs = start.elapsed().as_secs_f64();
+    visionsim_core::par::set_threads(Some(1));
+    let start = Instant::now();
+    let fig_seq = figure6::run(30, seed);
+    let seq_secs = start.elapsed().as_secs_f64();
+    visionsim_core::par::set_threads(None);
+    assert_eq!(
+        format!("{fig_par}"),
+        format!("{fig_seq}"),
+        "parallel output must be bit-identical to sequential"
+    );
+    println!(
+        "=== done in {par_total:.1}s · figure6 sequential {seq_secs:.2}s vs parallel {par_secs:.2}s \
+         ({:.1}x speedup, outputs bit-identical) ===",
+        seq_secs / par_secs.max(1e-9)
     );
 }

@@ -15,6 +15,7 @@
 use crate::report::render_table;
 use std::collections::{BTreeMap, BTreeSet};
 use visionsim_capture::analysis::CaptureAnalysis;
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::SimDuration;
 use visionsim_device::device::DeviceKind;
@@ -54,7 +55,65 @@ pub struct Discovery {
 /// `secs` seconds.
 pub fn run(sessions_per_provider: usize, secs: u64, seed: u64) -> Discovery {
     let vantages = cities::us_vantages();
-    let mut rng = SimRng::seed_from_u64(seed);
+    // Every (provider, session) pair is an independent cell: roster
+    // sampling and the session itself draw from a per-cell derived stream
+    // (previously one shared RNG made every session depend on all prior
+    // ones). The order-sensitive fleet accounting happens afterwards, in
+    // submission order, so results are identical at any thread count.
+    let cells: Vec<(Provider, usize)> = Provider::ALL
+        .into_iter()
+        .flat_map(|p| (0..sessions_per_provider).map(move |s| (p, s)))
+        .collect();
+    let sessions = par_map(cells, |(provider, s)| {
+        let mut rng =
+            SimRng::seed_from_u64(derive_seed(seed, &format!("discovery/{provider}"), s as u64));
+        // Random roster: 2-4 participants at random vantages, random
+        // device mix (at least one Vision Pro), random initiator =
+        // participant 0.
+        let size = 2 + rng.index(3);
+        let mut order: Vec<usize> = (0..vantages.len()).collect();
+        rng.shuffle(&mut order);
+        let participants: Vec<ParticipantSpec> = order[..size]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ParticipantSpec {
+                name: format!("U{}", i + 1),
+                device: if i == 0 || rng.chance(0.5) {
+                    DeviceKind::VisionPro
+                } else {
+                    DeviceKind::MacBook
+                },
+                city: vantages[v],
+            })
+            .collect();
+        let initiator_region = participants[0].city.region();
+        let mut cfg = SessionConfig::two_party(
+            provider,
+            (participants[0].device, participants[0].city),
+            (participants[1].device, participants[1].city),
+            rng.next_u64(),
+        );
+        cfg.participants = participants;
+        cfg.duration = SimDuration::from_secs(secs);
+        let out = SessionRunner::new(cfg).run();
+
+        // Discover from U1's AP capture, as the paper does.
+        let analysis = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        let provider_name = format!("{provider}");
+        let seen: Vec<(String, Region)> = analysis
+            .peers(&out.geodb)
+            .into_iter()
+            .filter(|peer| peer.org.as_deref() == Some(provider_name.as_str()))
+            .map(|peer| {
+                (
+                    peer.city.clone().expect("registered server"),
+                    peer.region.expect("registered server"),
+                )
+            })
+            .collect();
+        (provider, initiator_region, seen)
+    });
+
     let fleets = Provider::ALL
         .into_iter()
         .map(|provider| {
@@ -66,61 +125,23 @@ pub fn run(sessions_per_provider: usize, secs: u64, seed: u64) -> Discovery {
             // Regions where this provider demonstrably has a site, learned
             // *during* discovery (used for the assignment-rule check).
             let mut known_regions: BTreeSet<Region> = BTreeSet::new();
-
-            for s in 0..sessions_per_provider {
-                // Random roster: 2-4 participants at random vantages,
-                // random device mix (at least one Vision Pro), random
-                // initiator = participant 0.
-                let size = 2 + rng.index(3);
-                let mut order: Vec<usize> = (0..vantages.len()).collect();
-                rng.shuffle(&mut order);
-                let participants: Vec<ParticipantSpec> = order[..size]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &v)| ParticipantSpec {
-                        name: format!("U{}", i + 1),
-                        device: if i == 0 || rng.chance(0.5) {
-                            DeviceKind::VisionPro
-                        } else {
-                            DeviceKind::MacBook
-                        },
-                        city: vantages[v],
-                    })
-                    .collect();
-                let initiator_region = participants[0].city.region();
-                let mut cfg = SessionConfig::two_party(
-                    provider,
-                    (participants[0].device, participants[0].city),
-                    (participants[1].device, participants[1].city),
-                    seed.wrapping_add(s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                cfg.participants = participants;
-                cfg.duration = SimDuration::from_secs(secs);
-                let out = SessionRunner::new(cfg).run();
-
-                // Discover from U1's AP capture, as the paper does.
-                let analysis = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
-                let provider_name = format!("{provider}");
-                let mut saw_server = false;
-                for peer in analysis.peers(&out.geodb) {
-                    if peer.org.as_deref() == Some(provider_name.as_str()) {
-                        saw_server = true;
-                        let region = peer.region.expect("registered server");
-                        let city = peer.city.clone().expect("registered server");
-                        servers.insert(city, region);
-                        known_regions.insert(region);
-                        if region == initiator_region {
-                            initiator_matches += 1;
-                        }
-                        if known_regions.contains(&initiator_region) {
-                            initiator_checkable += 1;
-                        }
+            for (_, initiator_region, seen) in
+                sessions.iter().filter(|(p, _, _)| *p == provider)
+            {
+                for (city, region) in seen {
+                    servers.insert(city.clone(), *region);
+                    known_regions.insert(*region);
+                    if region == initiator_region {
+                        initiator_matches += 1;
+                    }
+                    if known_regions.contains(initiator_region) {
+                        initiator_checkable += 1;
                     }
                 }
-                if saw_server {
-                    sfu_sessions += 1;
-                } else {
+                if seen.is_empty() {
                     p2p_sessions += 1;
+                } else {
+                    sfu_sessions += 1;
                 }
             }
             DiscoveredFleet {

@@ -8,6 +8,7 @@
 //! that the persona is *not* sender-rendered video.
 
 use crate::report::render_table;
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::rng::SimRng;
 use visionsim_core::stats::StreamingStats;
 use visionsim_core::time::SimDuration;
@@ -34,10 +35,13 @@ pub struct DisplayLatency {
 /// Run with `trials` viewport changes per delay point.
 pub fn run(trials: usize, seed: u64) -> DisplayLatency {
     let model = DisplayModel::default();
-    let mut rng = SimRng::seed_from_u64(seed);
-    let points = [0u64, 100, 250, 500, 1_000]
-        .into_iter()
-        .map(|injected_ms| {
+    // Each injected-delay point is an independent cell with its own
+    // derived measurement-noise stream (previously all points shared one
+    // sequential RNG).
+    let points = par_map(vec![0u64, 100, 250, 500, 1_000], |injected_ms| {
+        {
+            let mut rng =
+                SimRng::seed_from_u64(derive_seed(seed, "display_latency", injected_ms));
             let delay = SimDuration::from_millis(injected_ms);
             let mut local_diff_ms = StreamingStats::new();
             let mut remote_diff_ms = StreamingStats::new();
@@ -66,8 +70,8 @@ pub fn run(trials: usize, seed: u64) -> DisplayLatency {
                 local_diff_ms,
                 remote_diff_ms,
             }
-        })
-        .collect();
+        }
+    });
     DisplayLatency { points }
 }
 

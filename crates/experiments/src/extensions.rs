@@ -8,6 +8,7 @@
 //!   rate take off.
 
 use crate::report::render_table;
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::SimDuration;
 use visionsim_geo::cities;
@@ -32,10 +33,14 @@ pub struct FecPoint {
 /// through an i.i.d.-loss channel, with and without FEC.
 pub fn fec_under_loss(frames: usize, payload_len: usize, seed: u64) -> Vec<FecPoint> {
     const MTU: usize = 600; // forces multi-shard frames for realistic k
-    [0.0f64, 0.01, 0.03, 0.05, 0.10, 0.20]
+    // Each loss point is an independent cell with its own derived stream.
+    let losses: Vec<(usize, f64)> = [0.0f64, 0.01, 0.03, 0.05, 0.10, 0.20]
         .into_iter()
-        .map(|loss| {
-            let mut rng = SimRng::seed_from_u64(seed ^ (loss * 1e4) as u64);
+        .enumerate()
+        .collect();
+    par_map(losses, |(li, loss)| {
+        {
+            let mut rng = SimRng::seed_from_u64(derive_seed(seed, "fec_under_loss", li as u64));
             let payload: Vec<u8> = (0..payload_len).map(|i| (i * 31) as u8).collect();
 
             // Plain path.
@@ -72,8 +77,8 @@ pub fn fec_under_loss(frames: usize, payload_len: usize, seed: u64) -> Vec<FecPo
                 fec_delivery: fec_ok as f64 / frames as f64,
                 overhead: fec_bytes as f64 / plain_bytes as f64,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Render the FEC sweep.
@@ -120,9 +125,14 @@ pub struct BeyondFiveRow {
 /// Extend the Figure 6 sweep past FaceTime's five-persona cap.
 pub fn beyond_five_users(secs: u64, seed: u64) -> Vec<BeyondFiveRow> {
     let cities = cities::us_vantages();
-    (2..=8usize)
-        .map(|users| {
-            let mut cfg = SessionConfig::facetime_avp(users, &cities, seed + users as u64);
+    // One independent session cell per roster size.
+    par_map((2..=8usize).collect(), |users| {
+        {
+            let mut cfg = SessionConfig::facetime_avp(
+                users,
+                &cities,
+                derive_seed(seed, "beyond_five_users", users as u64),
+            );
             cfg.duration = SimDuration::from_secs(secs);
             let out = SessionRunner::new(cfg).run();
             // Pool counters across participants.
@@ -145,8 +155,8 @@ pub fn beyond_five_users(secs: u64, seed: u64) -> Vec<BeyondFiveRow> {
                 miss_rate: missed as f64 / total.max(1) as f64,
                 effective_fps: fps_acc / out.counters.len() as f64,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Render the beyond-five sweep.

@@ -8,7 +8,8 @@
 
 use crate::report::{boxplot_cell, render_table};
 use visionsim_capture::analysis::CaptureAnalysis;
-use visionsim_core::stats::BoxplotSummary;
+use visionsim_core::par::{derive_seed, par_map};
+use visionsim_core::stats::{BoxplotSummary, Percentiles};
 use visionsim_core::time::SimDuration;
 use visionsim_device::device::DeviceKind;
 use visionsim_geo::cities;
@@ -55,36 +56,42 @@ pub fn run(repeats: usize, secs: u64, seed: u64) -> Figure4 {
         ("W", "Webex (AVP↔MacBook)", Provider::Webex, DeviceKind::MacBook),
         ("T", "Teams (AVP↔MacBook)", Provider::Teams, DeviceKind::MacBook),
     ];
+    // Every (configuration, repeat) pair is an independent session: fan
+    // them all out as cells, each on its own derived seed stream.
+    let cells: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|c| (0..repeats).map(move |r| (c, r)))
+        .collect();
+    let per_cell = par_map(cells, |(c, r)| {
+        let (label, _, provider, peer_device) = configs[c];
+        let mut cfg = SessionConfig::two_party(
+            provider,
+            (DeviceKind::VisionPro, sf),
+            (peer_device, nyc),
+            derive_seed(seed, label, r as u64),
+        );
+        cfg.duration = SimDuration::from_secs(secs);
+        let out = SessionRunner::new(cfg).run();
+        let analysis = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        // Raw per-second throughput samples: pooling these across repeats
+        // gives percentiles of the real sample distribution, not of a
+        // quartile skeleton.
+        (c, analysis.uplink_per_second_mbps())
+    });
+    let mut pooled: Vec<Percentiles> = configs.iter().map(|_| Percentiles::new()).collect();
+    for (c, samples) in per_cell {
+        for v in samples {
+            if v.is_finite() {
+                pooled[c].push(v);
+            }
+        }
+    }
     let rows = configs
         .into_iter()
-        .map(|(label, description, provider, peer_device)| {
-            let mut samples = visionsim_core::stats::Percentiles::new();
-            for r in 0..repeats {
-                let mut cfg = SessionConfig::two_party(
-                    provider,
-                    (DeviceKind::VisionPro, sf),
-                    (peer_device, nyc),
-                    seed ^ ((r as u64 + 1) * 7_919),
-                );
-                cfg.duration = SimDuration::from_secs(secs);
-                let out = SessionRunner::new(cfg).run();
-                let analysis = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
-                // Per-second throughput samples feed the figure directly.
-                let b = analysis.uplink_boxplot_mbps();
-                // Collect the distribution via its quartile skeleton plus
-                // mean; re-sampling each session's per-second values would
-                // be ideal, but the skeleton preserves the figure's shape.
-                for v in [b.p5, b.p25, b.median, b.p75, b.p95, b.mean] {
-                    if v.is_finite() {
-                        samples.push(v);
-                    }
-                }
-            }
-            Figure4Row {
-                label,
-                description,
-                uplink: samples.boxplot(),
-            }
+        .zip(pooled)
+        .map(|((label, description, _, _), mut samples)| Figure4Row {
+            label,
+            description,
+            uplink: samples.boxplot(),
         })
         .collect();
     Figure4 { rows }

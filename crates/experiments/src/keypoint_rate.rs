@@ -7,6 +7,10 @@
 //! at 90 FPS → 0.64±0.02 Mbps, matching the observed 0.67 Mbps spatial
 //! persona rate. Reproduced end-to-end with the synthetic capture and the
 //! in-tree LZMA-style codec.
+//!
+//! This runner is a single stateful 2,000-frame trace (the codec carries
+//! inter-frame state), so it is a degenerate one-cell "parallel" job: it
+//! stays sequential and is already deterministic at any thread count.
 
 use visionsim_core::rng::SimRng;
 use visionsim_core::stats::StreamingStats;

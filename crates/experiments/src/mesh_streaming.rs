@@ -7,9 +7,9 @@
 //! 0.67 Mbps spatial persona — and concludes the persona is not
 //! mesh-streamed.
 
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::rng::SimRng;
 use visionsim_core::stats::StreamingStats;
-use visionsim_mesh::generate::head_mesh;
 use visionsim_mesh::stream::MeshStreamer;
 use visionsim_mesh::texture::TextureSpec;
 
@@ -30,17 +30,23 @@ pub struct MeshStreaming {
 /// Run with `frames` animated frames per head.
 pub fn run(frames: usize, seed: u64) -> MeshStreaming {
     let targets = [70_000usize, 75_000, 78_030, 85_000, 90_000];
-    let meshes: Vec<_> = targets
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| head_mesh(t, seed + i as u64))
-        .collect();
-    let triangle_counts = meshes.iter().map(|m| m.triangle_count()).collect();
     let streamer = MeshStreamer::at_90fps();
-    let mut rng = SimRng::seed_from_u64(seed);
-    let rate_mbps = streamer.experiment(&meshes, frames, &mut rng);
-    let mean_vertices =
-        meshes.iter().map(|m| m.vertex_count()).sum::<usize>() / meshes.len();
+    // Each head is an independent cell: generation goes through the
+    // process-wide mesh cache (repeat runs share the built heads) and each
+    // head animates on its own derived deformation stream.
+    let per_head = par_map(targets.into_iter().enumerate().collect(), |(i, t)| {
+        let mesh = visionsim_mesh::cache::head(t, derive_seed(seed, "mesh_streaming", i as u64));
+        let mut rng =
+            SimRng::seed_from_u64(derive_seed(seed, "mesh_streaming/deform", i as u64));
+        let rate = streamer.experiment(std::slice::from_ref(&mesh), frames, &mut rng);
+        (mesh.triangle_count(), mesh.vertex_count(), rate.mean())
+    });
+    let triangle_counts = per_head.iter().map(|&(t, _, _)| t).collect();
+    let mut rate_mbps = StreamingStats::new();
+    for &(_, _, rate) in &per_head {
+        rate_mbps.push(rate);
+    }
+    let mean_vertices = per_head.iter().map(|&(_, v, _)| v).sum::<usize>() / per_head.len();
     let texture_overhead_mbps = TextureSpec::persona_default()
         .stream_overhead(mean_vertices, streamer.fps)
         .as_mbps_f64();

@@ -14,6 +14,7 @@
 //! (delay shifts frames, it does not thin them).
 
 use crate::report::render_table;
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::stats::Percentiles;
 use visionsim_core::time::SimDuration;
 use visionsim_geo::cities::{self, City};
@@ -59,13 +60,27 @@ fn rosters() -> Vec<(&'static str, Vec<City>)> {
 
 /// Run sessions of `secs` seconds per roster × policy.
 pub fn run(secs: u64, seed: u64) -> MotionToPhoton {
-    let mut rows = Vec::new();
-    for (roster, cities) in rosters() {
-        for policy in [
-            AssignmentPolicy::NearestToInitiator,
-            AssignmentPolicy::GeoDistributed,
-        ] {
-            let mut cfg = SessionConfig::facetime_avp(cities.len(), &cities, seed);
+    // Every roster × policy session is an independent cell. Both policies
+    // of one roster share a derived conversation seed so the comparison is
+    // paired (same traffic, different placement).
+    let cells: Vec<((&'static str, Vec<City>), AssignmentPolicy)> = rosters()
+        .into_iter()
+        .flat_map(|r| {
+            [
+                AssignmentPolicy::NearestToInitiator,
+                AssignmentPolicy::GeoDistributed,
+            ]
+            .into_iter()
+            .map(move |p| (r.clone(), p))
+        })
+        .collect();
+    let rows = par_map(cells, |((roster, cities), policy)| {
+        {
+            let mut cfg = SessionConfig::facetime_avp(
+                cities.len(),
+                &cities,
+                derive_seed(seed, roster, 0),
+            );
             cfg.duration = SimDuration::from_secs(secs);
             cfg.policy = policy;
             let out = SessionRunner::new(cfg).run();
@@ -93,14 +108,14 @@ pub fn run(secs: u64, seed: u64) -> MotionToPhoton {
                 .cloned()
                 .collect();
             let q = visionsim_capture::qoe::estimate(media.iter(), 90.0);
-            rows.push(M2pRow {
+            M2pRow {
                 roster,
                 policy,
                 worst_e2e_ms: out.e2e_latency_ms[worst].clone(),
                 passive_fps: q.fps,
-            });
+            }
         }
-    }
+    });
     MotionToPhoton { rows }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::report::render_table;
 use visionsim_capture::analysis::CaptureAnalysis;
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::time::SimDuration;
 use visionsim_device::device::DeviceKind;
 use visionsim_geo::cities;
@@ -48,26 +49,36 @@ pub struct Protocols {
 pub fn run(secs: u64, seed: u64) -> Protocols {
     let sf = cities::by_name("San Francisco, CA").expect("registry city");
     let nyc = cities::by_name("New York, NY").expect("registry city");
-    let mut rows = Vec::new();
-    for provider in Provider::ALL {
-        for peer_device in [DeviceKind::VisionPro, DeviceKind::MacBook] {
-            let mut cfg = SessionConfig::two_party(
-                provider,
-                (DeviceKind::VisionPro, sf),
-                (peer_device, nyc),
-                seed ^ (provider as u64) << 4 ^ peer_device as u64,
-            );
-            cfg.duration = SimDuration::from_secs(secs);
-            let out = SessionRunner::new(cfg).run();
-            let analysis = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
-            rows.push(ProtocolRow {
-                provider,
-                peer_device,
-                protocol: analysis.dominant_protocol(),
-                topology: out.topology,
-            });
+    // Each (provider, peer device) observation is an independent cell.
+    let cells: Vec<(Provider, DeviceKind)> = Provider::ALL
+        .into_iter()
+        .flat_map(|p| {
+            [DeviceKind::VisionPro, DeviceKind::MacBook]
+                .into_iter()
+                .map(move |d| (p, d))
+        })
+        .collect();
+    let rows = par_map(cells, |(provider, peer_device)| {
+        let mut cfg = SessionConfig::two_party(
+            provider,
+            (DeviceKind::VisionPro, sf),
+            (peer_device, nyc),
+            derive_seed(
+                seed,
+                &format!("protocols/{provider}"),
+                peer_device as u64,
+            ),
+        );
+        cfg.duration = SimDuration::from_secs(secs);
+        let out = SessionRunner::new(cfg).run();
+        let analysis = CaptureAnalysis::new(out.taps[0].iter(), out.client_addrs[0]);
+        ProtocolRow {
+            provider,
+            peer_device,
+            protocol: analysis.dominant_protocol(),
+            topology: out.topology,
         }
-    }
+    });
 
     // Anycast check: each provider's nearest-site resolution from the
     // eight vantages is a pure function of the (unicast) fleet, so every

@@ -8,6 +8,7 @@
 //! degrades quality smoothly instead.
 
 use crate::report::render_table;
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::time::SimDuration;
 use visionsim_core::units::DataRate;
 use visionsim_device::device::DeviceKind;
@@ -37,36 +38,49 @@ pub struct RateAdaptation {
 pub fn run(secs: u64, seed: u64) -> RateAdaptation {
     let sf = cities::by_name("San Francisco, CA").expect("registry city");
     let nyc = cities::by_name("New York, NY").expect("registry city");
-    let points = [300u64, 500, 650, 800, 1_500, 3_000]
+    // Each (uplink point, app) session is an independent cell: twelve
+    // sessions fan out, merged back per point afterwards.
+    let uplinks = [300u64, 500, 650, 800, 1_500, 3_000];
+    let cells: Vec<(u64, bool)> = uplinks
         .into_iter()
-        .map(|uplink_kbps| {
-            let limit = DataRate::from_kbps(uplink_kbps);
+        .flat_map(|u| [(u, true), (u, false)])
+        .collect();
+    let measures = par_map(cells, |(uplink_kbps, spatial)| {
+        let limit = DataRate::from_kbps(uplink_kbps);
+        let mut cfg = if spatial {
             // FaceTime spatial.
-            let mut cfg = SessionConfig::two_party(
+            SessionConfig::two_party(
                 Provider::FaceTime,
                 (DeviceKind::VisionPro, sf),
                 (DeviceKind::VisionPro, nyc),
-                seed ^ uplink_kbps,
-            );
-            cfg.duration = SimDuration::from_secs(secs);
-            cfg.uplink_limit = Some((0, limit));
-            let spatial = SessionRunner::new(cfg).run();
+                derive_seed(seed, "rate_adaptation/spatial", uplink_kbps),
+            )
+        } else {
             // Webex 2D under the same limit.
-            let mut cfg = SessionConfig::two_party(
+            SessionConfig::two_party(
                 Provider::Webex,
                 (DeviceKind::VisionPro, sf),
                 (DeviceKind::MacBook, nyc),
-                seed ^ uplink_kbps ^ 0xA,
-            );
-            cfg.duration = SimDuration::from_secs(secs);
-            cfg.uplink_limit = Some((0, limit));
-            let webex = SessionRunner::new(cfg).run();
-            CliffPoint {
-                uplink_kbps,
-                // Participant 1 receives participant 0's constrained stream.
-                spatial_availability: spatial.availability_fraction(1),
-                webex_quality: webex.final_quality[0],
-            }
+                derive_seed(seed, "rate_adaptation/webex", uplink_kbps),
+            )
+        };
+        cfg.duration = SimDuration::from_secs(secs);
+        cfg.uplink_limit = Some((0, limit));
+        let out = SessionRunner::new(cfg).run();
+        if spatial {
+            // Participant 1 receives participant 0's constrained stream.
+            out.availability_fraction(1)
+        } else {
+            out.final_quality[0]
+        }
+    });
+    let points = uplinks
+        .into_iter()
+        .zip(measures.chunks(2))
+        .map(|(uplink_kbps, pair)| CliffPoint {
+            uplink_kbps,
+            spatial_availability: pair[0],
+            webex_quality: pair[1],
         })
         .collect();
     RateAdaptation { points }

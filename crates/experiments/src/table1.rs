@@ -7,6 +7,7 @@
 //! packet network — so the matrix is *measured*, not computed.
 
 use crate::report::render_table;
+use visionsim_core::par::{derive_seed, par_map};
 use visionsim_core::stats::StreamingStats;
 use visionsim_core::time::SimDuration;
 use visionsim_geo::cities::{table1_test_users, City};
@@ -38,50 +39,45 @@ pub fn run(probes: usize, seed: u64) -> Table1 {
         .collect();
 
     let latency = LatencyModel::default();
-    let mut net = Network::new(seed);
-    // Build: user AP nodes and site nodes, direct paths (the probe goes
-    // AP → site, as the paper probes from the APs).
-    let user_nodes: Vec<_> = users
-        .iter()
-        .map(|c| net.add_node(c.name, "vantage", c.location))
+    // Each (user, site) pair probes over its own private two-node network
+    // (the probe goes AP → site, as the paper probes from the APs), so
+    // every pair is an independent cell with its own derived seed.
+    let cells: Vec<(usize, usize)> = (0..users.len())
+        .flat_map(|ui| (0..sites.len()).map(move |si| (ui, si)))
         .collect();
-    let site_nodes: Vec<_> = sites
-        .iter()
-        .map(|s| {
-            net.add_node(
-                &format!("{} {}", s.provider, s.label),
-                &format!("{}", s.provider),
-                s.location(),
-            )
-        })
+    let flat = par_map(cells, |(ui, si)| {
+        let user = &users[ui];
+        let site = &sites[si];
+        let mut net = Network::new(derive_seed(
+            seed,
+            "table1",
+            (ui * sites.len() + si) as u64,
+        ));
+        let un = net.add_node(user.name, "vantage", user.location);
+        let sn = net.add_node(
+            &format!("{} {}", site.provider, site.label),
+            &format!("{}", site.provider),
+            site.location(),
+        );
+        // One-way delay: propagation + half the access and server
+        // overheads on each direction.
+        let path = latency.path(
+            &user.location,
+            &site.location(),
+            site.provider.server_overhead_ms(),
+        );
+        let one_way = SimDuration::from_millis_f64(path.base_rtt_ms / 2.0);
+        let mut cfg = LinkConfig::core(one_way);
+        // Access-path jitter: each direction adds U[0, 1.5] ms, giving
+        // per-pair RTT spreads well inside the paper's σ < 7 ms.
+        cfg.netem.jitter = SimDuration::from_millis_f64(1.5);
+        net.add_duplex(un, sn, cfg);
+        RttProber::default().probe_stats(&mut net, un, sn, probes, SimDuration::from_millis(200))
+    });
+    let mut flat = flat.into_iter();
+    let rtts = (0..users.len())
+        .map(|_| flat.by_ref().take(sites.len()).collect())
         .collect();
-    for (ui, user) in users.iter().enumerate() {
-        for (si, site) in sites.iter().enumerate() {
-            // One-way delay: propagation + half the access and server
-            // overheads on each direction.
-            let path = latency.path(
-                &user.location,
-                &site.location(),
-                site.provider.server_overhead_ms(),
-            );
-            let one_way = SimDuration::from_millis_f64(path.base_rtt_ms / 2.0);
-            let mut cfg = LinkConfig::core(one_way);
-            // Access-path jitter: each direction adds U[0, 1.5] ms, giving
-            // per-pair RTT spreads well inside the paper's σ < 7 ms.
-            cfg.netem.jitter = SimDuration::from_millis_f64(1.5);
-            net.add_duplex(user_nodes[ui], site_nodes[si], cfg);
-        }
-    }
-
-    let prober = RttProber::default();
-    let mut rtts = Vec::with_capacity(users.len());
-    for &un in &user_nodes {
-        let mut row = Vec::with_capacity(sites.len());
-        for &sn in &site_nodes {
-            row.push(prober.probe_stats(&mut net, un, sn, probes, SimDuration::from_millis(200)));
-        }
-        rtts.push(row);
-    }
     Table1 { sites, users, rtts }
 }
 

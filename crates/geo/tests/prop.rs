@@ -1,75 +1,107 @@
-//! Property-based tests for geodesy and the latency model.
+//! Randomized property tests for geodesy and the latency model, driven by
+//! deterministic SimRng cases.
 
-use proptest::prelude::*;
+use visionsim_core::par::derive_seed;
+use visionsim_core::rng::SimRng;
 use visionsim_geo::coords::{GeoPoint, EARTH_RADIUS_KM};
 use visionsim_geo::geodb::GeoDb;
 use visionsim_geo::propagation::LatencyModel;
 use visionsim_geo::regions::Region;
 
-fn arb_point() -> impl Strategy<Value = GeoPoint> {
-    (-90.0f64..=90.0, -180.0f64..=180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+const CASES: u64 = 256;
+
+fn case_rng(label: &str, i: u64) -> SimRng {
+    SimRng::seed_from_u64(derive_seed(0x6E0_6E0, label, i))
 }
 
-proptest! {
-    /// Distance is a metric: non-negative, symmetric, zero iff same point
-    /// (up to fp), and bounded by half the circumference.
-    #[test]
-    fn distance_is_a_metric(a in arb_point(), b in arb_point()) {
-        let d = a.distance_km(&b);
-        prop_assert!(d >= 0.0);
-        prop_assert!((d - b.distance_km(&a)).abs() < 1e-9);
-        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
-        prop_assert!(a.distance_km(&a) < 1e-9);
-    }
+fn point(rng: &mut SimRng) -> GeoPoint {
+    GeoPoint::new(rng.uniform_range(-90.0, 90.0), rng.uniform_range(-180.0, 180.0))
+}
 
-    /// Triangle inequality.
-    #[test]
-    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+/// Distance is a metric: non-negative, symmetric, zero iff same point
+/// (up to fp), and bounded by half the circumference.
+#[test]
+fn distance_is_a_metric() {
+    for i in 0..CASES {
+        let mut rng = case_rng("distance_metric", i);
+        let a = point(&mut rng);
+        let b = point(&mut rng);
+        let d = a.distance_km(&b);
+        assert!(d >= 0.0);
+        assert!((d - b.distance_km(&a)).abs() < 1e-9);
+        assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+}
+
+/// Triangle inequality.
+#[test]
+fn triangle_inequality() {
+    for i in 0..CASES {
+        let mut rng = case_rng("triangle", i);
+        let a = point(&mut rng);
+        let b = point(&mut rng);
+        let c = point(&mut rng);
         let direct = a.distance_km(&c);
         let via = a.distance_km(&b) + b.distance_km(&c);
-        prop_assert!(direct <= via + 1e-6, "{direct} > {via}");
+        assert!(direct <= via + 1e-6, "{direct} > {via}");
     }
+}
 
-    /// Every point classifies into exactly one region without panicking.
-    #[test]
-    fn classification_is_total(p in arb_point()) {
+/// Every point classifies into exactly one region without panicking.
+#[test]
+fn classification_is_total() {
+    for i in 0..CASES {
+        let mut rng = case_rng("classification", i);
+        let p = point(&mut rng);
         let r = Region::of(&p);
-        prop_assert!(Region::ALL.contains(&r));
+        assert!(Region::ALL.contains(&r));
     }
+}
 
-    /// Path latency: deterministic, symmetric, at least the speed-of-light
-    /// floor, and monotone-boundable by inflation limits.
-    #[test]
-    fn path_latency_bounds(a in arb_point(), b in arb_point(), overhead in 0.0f64..10.0) {
+/// Path latency: deterministic, symmetric, at least the speed-of-light
+/// floor, and monotone-boundable by inflation limits.
+#[test]
+fn path_latency_bounds() {
+    for i in 0..CASES {
+        let mut rng = case_rng("path_latency", i);
+        let a = point(&mut rng);
+        let b = point(&mut rng);
+        let overhead = rng.uniform_range(0.0, 10.0);
         let m = LatencyModel::default();
         let p1 = m.path(&a, &b, overhead);
         let p2 = m.path(&b, &a, overhead);
-        prop_assert_eq!(p1.inflation, p2.inflation);
-        prop_assert!((p1.base_rtt_ms - p2.base_rtt_ms).abs() < 1e-9);
+        assert_eq!(p1.inflation, p2.inflation);
+        assert!((p1.base_rtt_ms - p2.base_rtt_ms).abs() < 1e-9);
         let d = a.distance_km(&b);
         let floor = 2.0 * d * m.inflation_min / 200_000.0 * 1_000.0 + m.access_overhead_ms + overhead;
         let ceil = 2.0 * d * m.inflation_max / 200_000.0 * 1_000.0 + m.access_overhead_ms + overhead;
-        prop_assert!(p1.base_rtt_ms >= floor - 1e-6);
-        prop_assert!(p1.base_rtt_ms <= ceil + 1e-6);
+        assert!(p1.base_rtt_ms >= floor - 1e-6);
+        assert!(p1.base_rtt_ms <= ceil + 1e-6);
     }
+}
 
-    /// Address allocation: unique addresses, lookups return the right
-    /// record, prefixes encode regions.
-    #[test]
-    fn geodb_allocation_invariants(points in prop::collection::vec(arb_point(), 1..50)) {
+/// Address allocation: unique addresses, lookups return the right
+/// record, prefixes encode regions.
+#[test]
+fn geodb_allocation_invariants() {
+    for i in 0..64 {
+        let mut rng = case_rng("geodb", i);
+        let n = rng.uniform_u64(1, 49) as usize;
+        let points: Vec<GeoPoint> = (0..n).map(|_| point(&mut rng)).collect();
         let mut db = GeoDb::new();
         let mut addrs = Vec::new();
-        for (i, p) in points.iter().enumerate() {
-            let a = db.allocate(&format!("org{i}"), "city", *p);
-            prop_assert!(!addrs.contains(&a), "duplicate address");
+        for (k, p) in points.iter().enumerate() {
+            let a = db.allocate(&format!("org{k}"), "city", *p);
+            assert!(!addrs.contains(&a), "duplicate address");
             addrs.push(a);
         }
-        prop_assert_eq!(db.len(), points.len());
-        for (i, (a, p)) in addrs.iter().zip(&points).enumerate() {
+        assert_eq!(db.len(), points.len());
+        for (k, (a, p)) in addrs.iter().zip(&points).enumerate() {
             let rec = db.lookup(*a).expect("registered");
-            prop_assert_eq!(&rec.org, &format!("org{i}"));
-            prop_assert_eq!(rec.region, Region::of(p));
-            prop_assert_eq!(db.region_of_prefix(*a), Some(rec.region));
+            assert_eq!(&rec.org, &format!("org{k}"));
+            assert_eq!(rec.region, Region::of(p));
+            assert_eq!(db.region_of_prefix(*a), Some(rec.region));
         }
     }
 }

@@ -1,0 +1,161 @@
+//! Process-wide memoized mesh generation.
+//!
+//! Generating a persona head is O(triangles) of trigonometry, and a LOD
+//! chain adds a bisection of vertex-clustering passes on top — yet every
+//! (params, seed) pair is fully deterministic, so regenerating one per
+//! session/repeat/benchmark iteration is pure waste. The experiment
+//! harness fans cells across threads ([`visionsim_core::par`]), which
+//! multiplies the waste: each worker would rebuild the same 78k-triangle
+//! head. This module memoizes generation behind `Arc`s so each distinct
+//! mesh is built once per process and shared immutably everywhere.
+//!
+//! The tables are bounded at [`CACHE_CAPACITY`] entries each (FIFO
+//! eviction) so sweeps over many distinct seeds cannot grow memory without
+//! limit. Lookups hold the table lock across a miss's generation: when
+//! parallel cells race for the same mesh, one builds it and the rest wait
+//! and share, rather than all building it.
+
+use crate::generate::{hand_mesh, head_mesh};
+use crate::geometry::TriangleMesh;
+use crate::lod::LodChain;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum entries per table before FIFO eviction kicks in.
+pub const CACHE_CAPACITY: usize = 32;
+
+/// A bounded FIFO-evicting memo table.
+struct Memo<K, V> {
+    map: HashMap<K, Arc<V>>,
+    order: VecDeque<K>,
+}
+
+impl<K: Clone + Eq + Hash, V> Memo<K, V> {
+    fn new() -> Self {
+        Memo {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get_or_insert_with(&mut self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.map.get(&key) {
+            return Arc::clone(v);
+        }
+        if self.map.len() >= CACHE_CAPACITY {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        let v = Arc::new(build());
+        self.map.insert(key.clone(), Arc::clone(&v));
+        self.order.push_back(key);
+        v
+    }
+}
+
+type MeshKey = (usize, u64);
+type ChainKey = (usize, u64, Vec<usize>);
+
+fn heads() -> &'static Mutex<Memo<MeshKey, TriangleMesh>> {
+    static T: OnceLock<Mutex<Memo<MeshKey, TriangleMesh>>> = OnceLock::new();
+    T.get_or_init(|| Mutex::new(Memo::new()))
+}
+
+fn hands() -> &'static Mutex<Memo<MeshKey, TriangleMesh>> {
+    static T: OnceLock<Mutex<Memo<MeshKey, TriangleMesh>>> = OnceLock::new();
+    T.get_or_init(|| Mutex::new(Memo::new()))
+}
+
+fn chains() -> &'static Mutex<Memo<ChainKey, LodChain>> {
+    static T: OnceLock<Mutex<Memo<ChainKey, LodChain>>> = OnceLock::new();
+    T.get_or_init(|| Mutex::new(Memo::new()))
+}
+
+/// Memoized [`head_mesh`]: built once per (target, seed), then shared.
+pub fn head(target_triangles: usize, seed: u64) -> Arc<TriangleMesh> {
+    heads()
+        .lock()
+        .expect("mesh cache lock")
+        .get_or_insert_with((target_triangles, seed), || {
+            head_mesh(target_triangles, seed)
+        })
+}
+
+/// Memoized [`hand_mesh`].
+pub fn hand(target_triangles: usize, seed: u64) -> Arc<TriangleMesh> {
+    hands()
+        .lock()
+        .expect("mesh cache lock")
+        .get_or_insert_with((target_triangles, seed), || {
+            hand_mesh(target_triangles, seed)
+        })
+}
+
+/// Memoized LOD chain over the (also memoized) head of
+/// (`target_triangles`, `seed`), decimated to `budgets`.
+pub fn head_lod_chain(target_triangles: usize, seed: u64, budgets: &[usize]) -> Arc<LodChain> {
+    let key = (target_triangles, seed, budgets.to_vec());
+    // Resolve the base mesh first so the two table locks never nest.
+    let base = head(target_triangles, seed);
+    chains()
+        .lock()
+        .expect("mesh cache lock")
+        .get_or_insert_with(key, || LodChain::build(&base, budgets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_head_lookup_is_the_same_allocation() {
+        let a = head(5_000, 0xCAFE);
+        let b = head(5_000, 0xCAFE);
+        assert!(Arc::ptr_eq(&a, &b), "cache missed on identical params");
+        assert_eq!(*a, head_mesh(5_000, 0xCAFE));
+    }
+
+    #[test]
+    fn distinct_params_get_distinct_meshes() {
+        let a = head(5_000, 1);
+        let b = head(5_000, 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn chain_lookup_is_memoized_and_matches_direct_build() {
+        let budgets = [2_000usize, 500, 36];
+        let a = head_lod_chain(4_000, 7, &budgets);
+        let b = head_lod_chain(4_000, 7, &budgets);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), budgets.len() + 1);
+        let direct = LodChain::build(&head_mesh(4_000, 7), &budgets);
+        for i in 0..a.len() {
+            assert_eq!(a.level(i), direct.level(i));
+        }
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_fifo_eviction() {
+        let mut memo: Memo<u64, u64> = Memo::new();
+        for k in 0..(CACHE_CAPACITY as u64 + 10) {
+            memo.get_or_insert_with(k, || k);
+        }
+        assert_eq!(memo.map.len(), CACHE_CAPACITY);
+        assert_eq!(memo.order.len(), CACHE_CAPACITY);
+        // The oldest keys were evicted; a re-request rebuilds.
+        assert!(!memo.map.contains_key(&0));
+        assert!(memo.map.contains_key(&(CACHE_CAPACITY as u64 + 9)));
+    }
+
+    #[test]
+    fn hands_are_cached_separately_from_heads() {
+        let head = head(1_000, 3);
+        let hand = hand(1_000, 3);
+        assert_ne!(head.positions, hand.positions);
+        assert!(Arc::ptr_eq(&hand, &super::hand(1_000, 3)));
+    }
+}

@@ -8,7 +8,10 @@
 //! compression codec (quantization + delta prediction + rANS entropy
 //! coding) used to reproduce the §4.3 finding that direct mesh streaming
 //! needs two orders of magnitude more bandwidth than what FaceTime ships.
+//! Generation is memoized process-wide in [`cache`] (bounded, `Arc`-shared)
+//! so parallel experiment cells never rebuild an identical mesh.
 
+pub mod cache;
 pub mod codec;
 pub mod generate;
 pub mod geometry;

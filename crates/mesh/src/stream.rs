@@ -49,15 +49,16 @@ impl MeshStreamer {
     /// facial-motion deformation (so successive frames differ, as live
     /// capture does), measure per-mesh stream rate, and return Mbps
     /// statistics across meshes.
-    pub fn experiment(
+    pub fn experiment<M: std::borrow::Borrow<TriangleMesh>>(
         &self,
-        meshes: &[TriangleMesh],
+        meshes: &[M],
         frames: usize,
         rng: &mut SimRng,
     ) -> StreamingStats {
         assert!(!meshes.is_empty() && frames > 0);
         let mut stats = StreamingStats::new();
         for mesh in meshes {
+            let mesh = mesh.borrow();
             let mut per_frame = StreamingStats::new();
             let mut animated = mesh.clone();
             for _ in 0..frames {
@@ -136,6 +137,6 @@ mod tests {
     fn experiment_rejects_empty_input() {
         let streamer = MeshStreamer::at_90fps();
         let mut rng = SimRng::seed_from_u64(1);
-        streamer.experiment(&[], 1, &mut rng);
+        streamer.experiment::<TriangleMesh>(&[], 1, &mut rng);
     }
 }

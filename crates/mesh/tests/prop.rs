@@ -1,83 +1,122 @@
-//! Property-based tests for mesh geometry, LOD, and the codec.
+//! Randomized property tests for mesh geometry, LOD, and the codec,
+//! driven by deterministic SimRng cases.
 
-use proptest::prelude::*;
+use visionsim_core::par::derive_seed;
+use visionsim_core::rng::SimRng;
 use visionsim_mesh::codec::{decode_mesh, encode_mesh, MeshCodecConfig};
 use visionsim_mesh::geometry::{TriangleMesh, Vec3};
 use visionsim_mesh::lod::{cluster, decimate_to};
 
-/// Strategy: a small arbitrary-but-valid triangle mesh.
-fn arb_mesh() -> impl Strategy<Value = TriangleMesh> {
-    (4usize..40).prop_flat_map(|nv| {
-        let verts = prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0), nv);
-        let tris = prop::collection::vec((0..nv, 0..nv, 0..nv), 1..60);
-        (verts, tris).prop_map(|(vs, ts)| {
-            let positions: Vec<Vec3> = vs.into_iter().map(|(x, y, z)| Vec3::new(x, y, z)).collect();
-            let triangles: Vec<[u32; 3]> = ts
-                .into_iter()
-                .filter(|&(a, b, c)| a != b && b != c && a != c)
-                .map(|(a, b, c)| [a as u32, b as u32, c as u32])
-                .collect();
-            TriangleMesh {
-                positions,
-                triangles,
-            }
-        })
-    })
+const CASES: u64 = 96;
+
+fn case_rng(label: &str, i: u64) -> SimRng {
+    SimRng::seed_from_u64(derive_seed(0x3E5_43E5, label, i))
 }
 
-proptest! {
-    /// Connectivity survives the codec bit-exactly; positions within the
-    /// quantization cell.
-    #[test]
-    fn codec_round_trips(mesh in arb_mesh(), qbits in 6u32..=14) {
-        let cfg = MeshCodecConfig { quantization_bits: qbits };
+/// A small arbitrary-but-valid triangle mesh.
+fn arb_mesh(rng: &mut SimRng) -> TriangleMesh {
+    let nv = rng.uniform_u64(4, 39) as usize;
+    let positions: Vec<Vec3> = (0..nv)
+        .map(|_| {
+            Vec3::new(
+                rng.uniform_range(-10.0, 10.0) as f32,
+                rng.uniform_range(-10.0, 10.0) as f32,
+                rng.uniform_range(-10.0, 10.0) as f32,
+            )
+        })
+        .collect();
+    let nt = rng.uniform_u64(1, 59) as usize;
+    let triangles: Vec<[u32; 3]> = (0..nt)
+        .map(|_| (rng.index(nv), rng.index(nv), rng.index(nv)))
+        .filter(|&(a, b, c)| a != b && b != c && a != c)
+        .map(|(a, b, c)| [a as u32, b as u32, c as u32])
+        .collect();
+    TriangleMesh {
+        positions,
+        triangles,
+    }
+}
+
+/// Connectivity survives the codec bit-exactly; positions within the
+/// quantization cell.
+#[test]
+fn codec_round_trips() {
+    for i in 0..CASES {
+        let mut rng = case_rng("codec", i);
+        let mesh = arb_mesh(&mut rng);
+        let qbits = rng.uniform_u64(6, 14) as u32;
+        let cfg = MeshCodecConfig {
+            quantization_bits: qbits,
+        };
         let decoded = decode_mesh(&encode_mesh(&mesh, &cfg)).expect("own output");
-        prop_assert_eq!(&decoded.triangles, &mesh.triangles);
-        prop_assert_eq!(decoded.vertex_count(), mesh.vertex_count());
+        assert_eq!(&decoded.triangles, &mesh.triangles);
+        assert_eq!(decoded.vertex_count(), mesh.vertex_count());
         if let Some(bb) = mesh.bounds() {
             let cell = bb.max_extent() / ((1u32 << qbits) - 1) as f32;
             let tol = cell * 1.8 + 1e-6;
             for (a, b) in mesh.positions.iter().zip(&decoded.positions) {
-                prop_assert!(a.distance(b) <= tol, "{} > {}", a.distance(b), tol);
+                assert!(a.distance(b) <= tol, "{} > {}", a.distance(b), tol);
             }
         }
     }
+}
 
-    /// Decoding arbitrary garbage never panics.
-    #[test]
-    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..500)) {
-        let _ = decode_mesh(&bytes);
+/// Decoding arbitrary garbage never panics.
+#[test]
+fn decode_never_panics() {
+    for i in 0..CASES {
+        let mut rng = case_rng("decode_garbage", i);
+        let n = rng.uniform_u64(0, 500) as usize;
+        let mut garbage = vec![0u8; n];
+        rng.fill_bytes(&mut garbage);
+        let _ = decode_mesh(&garbage);
     }
+}
 
-    /// Clustering never increases counts and keeps indices valid.
-    #[test]
-    fn clustering_shrinks_and_stays_valid(mesh in arb_mesh(), cells in 1usize..64) {
+/// Clustering never increases counts and keeps indices valid.
+#[test]
+fn clustering_shrinks_and_stays_valid() {
+    for i in 0..CASES {
+        let mut rng = case_rng("cluster", i);
+        let mesh = arb_mesh(&mut rng);
+        let cells = rng.uniform_u64(1, 63) as usize;
         let c = cluster(&mesh, cells);
-        prop_assert!(c.triangle_count() <= mesh.triangle_count());
-        prop_assert!(c.vertex_count() <= mesh.vertex_count());
-        prop_assert!(c.validate().is_ok(), "{:?}", c.validate());
+        assert!(c.triangle_count() <= mesh.triangle_count());
+        assert!(c.vertex_count() <= mesh.vertex_count());
+        assert!(c.validate().is_ok(), "{:?}", c.validate());
     }
+}
 
-    /// Decimation to any target yields a valid mesh no larger than the
-    /// original, and decimation to ≥ the original count is identity.
-    #[test]
-    fn decimation_invariants(mesh in arb_mesh(), target in 0usize..100) {
+/// Decimation to any target yields a valid mesh no larger than the
+/// original, and decimation to ≥ the original count is identity.
+#[test]
+fn decimation_invariants() {
+    for i in 0..CASES {
+        let mut rng = case_rng("decimate", i);
+        let mesh = arb_mesh(&mut rng);
+        let target = rng.uniform_u64(0, 99) as usize;
         let d = decimate_to(&mesh, target);
-        prop_assert!(d.triangle_count() <= mesh.triangle_count().max(target));
-        prop_assert!(d.validate().is_ok());
+        assert!(d.triangle_count() <= mesh.triangle_count().max(target));
+        assert!(d.validate().is_ok());
         let same = decimate_to(&mesh, mesh.triangle_count());
-        prop_assert_eq!(same.triangle_count(), mesh.triangle_count());
+        assert_eq!(same.triangle_count(), mesh.triangle_count());
     }
+}
 
-    /// The decimated mesh stays inside the original bounding box (with
-    /// epsilon padding).
-    #[test]
-    fn decimation_stays_in_bounds(mesh in arb_mesh()) {
-        prop_assume!(!mesh.positions.is_empty());
+/// The decimated mesh stays inside the original bounding box (with
+/// epsilon padding).
+#[test]
+fn decimation_stays_in_bounds() {
+    for i in 0..CASES {
+        let mut rng = case_rng("bounds", i);
+        let mesh = arb_mesh(&mut rng);
+        if mesh.positions.is_empty() {
+            continue;
+        }
         let outer = mesh.bounds().expect("non-empty");
         let d = cluster(&mesh, 4);
         if let Some(inner) = d.bounds() {
-            prop_assert!(visionsim_mesh::lod::bounds_contained(&inner, &outer, 1e-4));
+            assert!(visionsim_mesh::lod::bounds_contained(&inner, &outer, 1e-4));
         }
     }
 }

@@ -1,7 +1,7 @@
-//! Property-based tests for the network: conservation, ordering, and
-//! impairment invariants.
+//! Randomized property tests for the network: conservation, ordering, and
+//! impairment invariants, driven by deterministic SimRng cases.
 
-use proptest::prelude::*;
+use visionsim_core::par::derive_seed;
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::{ByteSize, DataRate};
@@ -11,24 +11,30 @@ use visionsim_net::netem::{Netem, NetemVerdict, TokenBucket};
 use visionsim_net::network::Network;
 use visionsim_net::packet::PortPair;
 
-proptest! {
-    /// Packet conservation: everything sent is either delivered or
-    /// counted as dropped — never duplicated, never lost silently.
-    #[test]
-    fn conservation_under_loss(
-        loss in 0.0f64..1.0,
-        count in 1usize..200,
-        seed in any::<u64>(),
-    ) {
+const CASES: u64 = 48;
+
+fn case_rng(label: &str, i: u64) -> SimRng {
+    SimRng::seed_from_u64(derive_seed(0x4E7_04E7, label, i))
+}
+
+/// Packet conservation: everything sent is either delivered or
+/// counted as dropped — never duplicated, never lost silently.
+#[test]
+fn conservation_under_loss() {
+    for i in 0..CASES {
+        let mut rng = case_rng("conservation", i);
+        let loss = rng.uniform();
+        let count = rng.uniform_u64(1, 199) as usize;
+        let seed = rng.next_u64();
         let mut net = Network::new(seed);
         let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
         let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
         net.add_duplex(a, b, LinkConfig::core(SimDuration::from_millis(10)));
         net.netem_mut(visionsim_net::link::LinkId(0)).loss = loss;
         let mut sent = 0u64;
-        for i in 0..count {
+        for k in 0..count {
             if net
-                .send(a, b, PortPair::new(1, 2), vec![i as u8; 64])
+                .send(a, b, PortPair::new(1, 2), vec![k as u8; 64])
                 .is_some()
             {
                 sent += 1;
@@ -36,14 +42,19 @@ proptest! {
         }
         net.run_until(SimTime::from_secs(5));
         let delivered = net.poll_delivered(b).len() as u64;
-        prop_assert_eq!(delivered + net.total_dropped(), count as u64);
-        prop_assert_eq!(delivered, sent);
+        assert_eq!(delivered + net.total_dropped(), count as u64);
+        assert_eq!(delivered, sent);
     }
+}
 
-    /// Per-flow FIFO: packets between one pair arrive in send order on a
-    /// fixed-delay path.
-    #[test]
-    fn fifo_per_path(count in 2usize..100, seed in any::<u64>()) {
+/// Per-flow FIFO: packets between one pair arrive in send order on a
+/// fixed-delay path.
+#[test]
+fn fifo_per_path() {
+    for i in 0..CASES {
+        let mut rng = case_rng("fifo", i);
+        let count = rng.uniform_u64(2, 99) as usize;
+        let seed = rng.next_u64();
         let mut net = Network::new(seed);
         let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
         let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
@@ -51,8 +62,8 @@ proptest! {
         cfg.rate = Some(DataRate::from_mbps(100));
         cfg.queue_limit = ByteSize::from_mb(64);
         net.add_link(a, b, cfg);
-        for i in 0..count {
-            net.send(a, b, PortPair::new(1, 2), (i as u32).to_be_bytes().to_vec());
+        for k in 0..count {
+            net.send(a, b, PortPair::new(1, 2), (k as u32).to_be_bytes().to_vec());
         }
         net.run_until(SimTime::from_secs(10));
         let got: Vec<u32> = net
@@ -60,31 +71,33 @@ proptest! {
             .iter()
             .map(|d| u32::from_be_bytes(d.packet.payload[..4].try_into().unwrap()))
             .collect();
-        prop_assert_eq!(got, (0..count as u32).collect::<Vec<_>>());
+        assert_eq!(got, (0..count as u32).collect::<Vec<_>>());
     }
+}
 
-    /// Token-bucket conservation: over a long run, delivered volume never
-    /// exceeds rate × time + burst.
-    #[test]
-    fn token_bucket_never_exceeds_budget(
-        rate_kbps in 50u64..5_000,
-        burst_kb in 1u64..64,
-        pkt_bytes in 64u64..1_500,
-        spacing_us in 100u64..20_000,
-        count in 1usize..500,
-    ) {
+/// Token-bucket conservation: over a long run, delivered volume never
+/// exceeds rate × time + burst.
+#[test]
+fn token_bucket_never_exceeds_budget() {
+    for i in 0..CASES {
+        let mut rng = case_rng("token_bucket", i);
+        let rate_kbps = rng.uniform_u64(50, 4_999);
+        let burst_kb = rng.uniform_u64(1, 63);
+        let pkt_bytes = rng.uniform_u64(64, 1_499);
+        let spacing_us = rng.uniform_u64(100, 19_999);
+        let count = rng.uniform_u64(1, 499) as usize;
         let rate = DataRate::from_kbps(rate_kbps);
         let mut netem = Netem {
             shaper: Some(TokenBucket::new(rate, ByteSize::from_kb(burst_kb))),
             ..Netem::default()
         };
-        let mut rng = SimRng::seed_from_u64(1);
+        let mut apply_rng = SimRng::seed_from_u64(1);
         let size = ByteSize::from_bytes(pkt_bytes);
         let mut delivered_bytes = 0u64;
         let mut t = SimTime::ZERO;
         let mut last_deliver_at = SimTime::ZERO;
         for _ in 0..count {
-            match netem.apply(t, size, &mut rng) {
+            match netem.apply(t, size, &mut apply_rng) {
                 NetemVerdict::Deliver { delay, .. } => {
                     delivered_bytes += size.as_bytes();
                     last_deliver_at = last_deliver_at.max(t + delay);
@@ -98,16 +111,21 @@ proptest! {
         let budget = rate.as_bps() as f64 / 8.0 * horizon_s
             + ByteSize::from_kb(burst_kb).as_bytes() as f64
             + pkt_bytes as f64; // in-flight rounding
-        prop_assert!(
+        assert!(
             delivered_bytes as f64 <= budget * 1.01,
             "delivered {delivered_bytes} budget {budget}"
         );
     }
+}
 
-    /// Fixed netem delay shifts arrival exactly; never reorders a
-    /// fixed-delay path.
-    #[test]
-    fn extra_delay_is_exact(delay_ms in 0u64..1_000, seed in any::<u64>()) {
+/// Fixed netem delay shifts arrival exactly; never reorders a
+/// fixed-delay path.
+#[test]
+fn extra_delay_is_exact() {
+    for i in 0..CASES {
+        let mut rng = case_rng("extra_delay", i);
+        let delay_ms = rng.uniform_u64(0, 999);
+        let seed = rng.next_u64();
         let mut net = Network::new(seed);
         let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
         let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
@@ -117,7 +135,7 @@ proptest! {
         net.send(a, b, PortPair::new(1, 2), vec![0u8; 32]);
         net.run_until(SimTime::from_secs(5));
         let got = net.poll_delivered(b);
-        prop_assert_eq!(got.len(), 1);
-        prop_assert_eq!(got[0].at, SimTime::from_millis(20 + delay_ms));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].at, SimTime::from_millis(20 + delay_ms));
     }
 }

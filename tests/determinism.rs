@@ -1,0 +1,42 @@
+//! Thread-count determinism: every formatted artifact must be
+//! byte-identical whether the harness runs on one worker or all cores.
+//!
+//! A single test function drives both configurations so the global
+//! `core::par::set_threads` override is never raced by the libtest runner.
+
+use visionsim::experiments::{extensions, figure6, mesh_streaming, table1};
+use visionsim::core::par;
+
+/// Render a small-but-representative slice of the suite at `seed`.
+fn artifacts(seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}", table1::run(3, seed)));
+    out.push_str(&format!("{}", figure6::run(4, seed)));
+    out.push_str(&format!("{}", mesh_streaming::run(2, seed)));
+    out.push_str(&extensions::format_fec(&extensions::fec_under_loss(
+        60, 1_500, seed,
+    )));
+    out
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_sequential() {
+    for seed in [2024u64, 7] {
+        par::set_threads(Some(1));
+        let sequential = artifacts(seed);
+        // Force a real pool (not `None`): on a single-core runner the
+        // default resolution would degrade to inline execution and the
+        // test would compare nothing.
+        par::set_threads(Some(4));
+        let parallel = artifacts(seed);
+        par::set_threads(None);
+        assert!(
+            par::threads() >= 1,
+            "thread resolution must fall back to the environment"
+        );
+        assert_eq!(
+            sequential, parallel,
+            "seed {seed}: parallel output diverged from single-thread"
+        );
+    }
+}
