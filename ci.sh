@@ -13,6 +13,12 @@ cargo test -q --workspace
 echo "== thread-count determinism =="
 cargo test -q --test determinism
 
+echo "== chaos suite at 1 and 4 workers =="
+VISIONSIM_THREADS=1 cargo test -q --test fault_injection
+VISIONSIM_THREADS=4 cargo test -q --test fault_injection
+VISIONSIM_THREADS=1 cargo test -q -p visionsim-experiments resilience
+VISIONSIM_THREADS=4 cargo test -q -p visionsim-experiments resilience
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

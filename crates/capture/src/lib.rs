@@ -15,13 +15,17 @@
 //! * [`pcap`] — binary libpcap export, so simulated traces open in
 //!   Wireshark itself;
 //! * [`qoe`] — passive QoE estimation from packet timing alone (frame
-//!   rate, stalls), the §5-suggested methodology for encrypted traffic.
+//!   rate, stalls), the §5-suggested methodology for encrypted traffic;
+//! * [`recovery`] — transient-response metrics (time-to-detect, MTTR,
+//!   flap count, degraded seconds) for chaos/fault experiments.
 
 pub mod analysis;
 pub mod flow;
 pub mod log;
 pub mod pcap;
 pub mod qoe;
+pub mod recovery;
 
 pub use analysis::CaptureAnalysis;
 pub use flow::{FlowKey, FlowStats, FlowTable};
+pub use recovery::{RecoveryReport, RecoveryTracker};

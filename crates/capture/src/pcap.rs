@@ -84,43 +84,105 @@ pub struct PcapPacket {
     pub payload: Vec<u8>,
 }
 
+/// Why a pcap image failed to parse. Every variant is a property of the
+/// *input bytes* — hostile or truncated files report an error; they never
+/// panic the parser.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PcapError {
+    /// Fewer than the 24 global-header bytes.
+    TooShort,
+    /// Magic number is not little-endian microsecond libpcap.
+    BadMagic(u32),
+    /// Linktype is not RAW-IPv4 (the only one this reader handles).
+    BadLinktype(u32),
+    /// A record header promised more bytes than the file contains.
+    TruncatedRecord {
+        /// Byte offset of the offending record header.
+        offset: usize,
+        /// Bytes the record claimed to include.
+        claimed: usize,
+        /// Bytes actually remaining in the file.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::TooShort => write!(f, "pcap shorter than its 24-byte global header"),
+            PcapError::BadMagic(m) => write!(f, "unrecognized pcap magic {m:#010x}"),
+            PcapError::BadLinktype(l) => write!(f, "unsupported linktype {l} (want RAW=101)"),
+            PcapError::TruncatedRecord {
+                offset,
+                claimed,
+                available,
+            } => write!(
+                f,
+                "record at offset {offset} claims {claimed} bytes but only {available} remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
 /// Parse a pcap image produced by [`to_pcap`] (or any raw-IPv4/UDP pcap).
-pub fn parse_pcap(bytes: &[u8]) -> Option<Vec<PcapPacket>> {
+///
+/// Malformed input — wrong magic, foreign linktype, records whose length
+/// field runs past the end of the buffer — returns a [`PcapError`];
+/// non-IPv4/UDP frames inside a well-formed file are skipped silently
+/// (as a display filter would).
+pub fn parse_pcap(bytes: &[u8]) -> Result<Vec<PcapPacket>, PcapError> {
     if bytes.len() < 24 {
-        return None;
+        return Err(PcapError::TooShort);
     }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
     if magic != PCAP_MAGIC {
-        return None;
+        return Err(PcapError::BadMagic(magic));
     }
-    let linktype = u32::from_le_bytes(bytes[20..24].try_into().ok()?);
+    let linktype = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
     if linktype != LINKTYPE_RAW {
-        return None;
+        return Err(PcapError::BadLinktype(linktype));
     }
     let mut pos = 24;
     let mut packets = Vec::new();
-    while pos + 16 <= bytes.len() {
-        let sec = u32::from_le_bytes(bytes[pos..pos + 4].try_into().ok()?) as u64;
-        let usec = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().ok()?) as u64;
-        let incl = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().ok()?) as usize;
-        let orig_len = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().ok()?);
+    while pos < bytes.len() {
+        if pos + 16 > bytes.len() {
+            return Err(PcapError::TruncatedRecord {
+                offset: pos,
+                claimed: 16,
+                available: bytes.len() - pos,
+            });
+        }
+        let sec = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as u64;
+        let usec = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes")) as u64;
+        let incl =
+            u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
+        let orig_len = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4 bytes"));
+        let header_at = pos;
         pos += 16;
-        let frame = bytes.get(pos..pos + incl)?;
+        let Some(frame) = bytes.get(pos..pos.saturating_add(incl)) else {
+            return Err(PcapError::TruncatedRecord {
+                offset: header_at,
+                claimed: incl,
+                available: bytes.len() - pos,
+            });
+        };
         pos += incl;
         if frame.len() < 28 || frame[0] >> 4 != 4 || frame[9] != 17 {
             continue; // not IPv4/UDP; skip
         }
         packets.push(PcapPacket {
             ts_us: sec * 1_000_000 + usec,
-            src: u32::from_be_bytes(frame[12..16].try_into().ok()?),
-            dst: u32::from_be_bytes(frame[16..20].try_into().ok()?),
-            src_port: u16::from_be_bytes(frame[20..22].try_into().ok()?),
-            dst_port: u16::from_be_bytes(frame[22..24].try_into().ok()?),
+            src: u32::from_be_bytes(frame[12..16].try_into().expect("4 bytes")),
+            dst: u32::from_be_bytes(frame[16..20].try_into().expect("4 bytes")),
+            src_port: u16::from_be_bytes(frame[20..22].try_into().expect("2 bytes")),
+            dst_port: u16::from_be_bytes(frame[22..24].try_into().expect("2 bytes")),
             orig_len,
             payload: frame[28..].to_vec(),
         });
     }
-    Some(packets)
+    Ok(packets)
 }
 
 #[cfg(test)]
@@ -178,21 +240,40 @@ mod tests {
     fn parse_rejects_wrong_magic_or_linktype() {
         let mut image = to_pcap(std::iter::empty());
         image[0] ^= 0xFF;
-        assert!(parse_pcap(&image).is_none());
+        assert!(matches!(parse_pcap(&image), Err(PcapError::BadMagic(_))));
         let mut image = to_pcap(std::iter::empty());
         image[20] = 1; // Ethernet
-        assert!(parse_pcap(&image).is_none());
-        assert!(parse_pcap(&[]).is_none());
+        assert_eq!(parse_pcap(&image), Err(PcapError::BadLinktype(1)));
+        assert_eq!(parse_pcap(&[]), Err(PcapError::TooShort));
     }
 
     #[test]
-    fn truncated_record_is_dropped_not_panicking() {
+    fn truncated_record_is_an_error_not_a_panic() {
         let image = to_pcap([rec(1, 1, 2, 100)].iter());
         let cut = &image[..image.len() - 3];
-        let parsed = parse_pcap(cut);
-        // Either None (header incomplete) or an empty/shorter list.
-        if let Some(p) = parsed {
-            assert!(p.len() <= 1);
+        assert!(matches!(
+            parse_pcap(cut),
+            Err(PcapError::TruncatedRecord { .. })
+        ));
+        // Cutting inside the record *header* is also reported, not a slice
+        // panic.
+        let cut = &image[..24 + 7];
+        assert!(matches!(
+            parse_pcap(cut),
+            Err(PcapError::TruncatedRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_field_is_an_error_not_a_panic() {
+        let mut image = to_pcap([rec(1, 1, 2, 100)].iter());
+        // Claim 4 GiB of included bytes.
+        image[24 + 8..24 + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        match parse_pcap(&image) {
+            Err(PcapError::TruncatedRecord { claimed, .. }) => {
+                assert_eq!(claimed, u32::MAX as usize);
+            }
+            other => panic!("expected TruncatedRecord, got {other:?}"),
         }
     }
 

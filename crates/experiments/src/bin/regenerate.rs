@@ -62,6 +62,14 @@ fn main() {
     println!("--- Figure 6 ---");
     timed("figure6", || figure6::run(30, seed));
 
+    println!("--- Chaos drill (resilience) ---");
+    let drill = timed("resilience", || resilience::run(14, seed));
+    println!(
+        "{}/{} cells dipped and recovered\n",
+        drill.recovered_cells(),
+        drill.cells.len()
+    );
+
     println!("--- Ablations ---");
     let start = Instant::now();
     let coder = ablations::entropy_coder(200_000, seed);

@@ -21,6 +21,7 @@
 //! | [`extensions`] | beyond the measured system: FEC for the semantic stream, >5-user scaling |
 //! | [`motion_to_photon`] | end-to-end latency vs placement against the 100 ms QoE threshold |
 //! | [`discovery`] | the §4.1 methodology itself: fleet discovery from randomized sessions |
+//! | [`resilience`] | chaos drill: mid-session faults × severity × app, recovery metrics |
 
 pub mod ablations;
 pub mod discovery;
@@ -35,4 +36,5 @@ pub mod motion_to_photon;
 pub mod protocols;
 pub mod rate_adaptation;
 pub mod report;
+pub mod resilience;
 pub mod table1;

@@ -65,7 +65,7 @@ pub fn run(secs: u64, seed: u64) -> RateAdaptation {
             )
         };
         cfg.duration = SimDuration::from_secs(secs);
-        cfg.uplink_limit = Some((0, limit));
+        cfg.uplink_limits = vec![(0, limit)];
         let out = SessionRunner::new(cfg).run();
         if spatial {
             // Participant 1 receives participant 0's constrained stream.

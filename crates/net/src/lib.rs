@@ -21,6 +21,7 @@
 //! * Any node can host a *tap* — the AP-side Wireshark analogue — which
 //!   records every packet transiting the node for later flow analysis.
 
+pub mod fault;
 pub mod link;
 pub mod netem;
 pub mod network;
@@ -28,8 +29,9 @@ pub mod packet;
 pub mod probe;
 pub mod tap;
 
+pub use fault::{apply_to_netem, FaultEvent, FaultKind, FaultPlan, GeConfig, GilbertElliott};
 pub use link::{LinkConfig, LinkId};
-pub use netem::{Netem, RateProfile, TokenBucket};
+pub use netem::{Netem, NetemVerdict, RateProfile, TokenBucket};
 pub use network::{Delivered, Network, NodeId};
 pub use packet::{Packet, PortPair, IP_UDP_OVERHEAD_BYTES};
 pub use probe::{AnycastProbe, RttProber};

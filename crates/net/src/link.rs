@@ -88,6 +88,8 @@ pub struct LinkStats {
     pub queue_drops: u64,
     /// Packets dropped by impairments (loss or shaper overload).
     pub netem_drops: u64,
+    /// Extra copies emitted by the duplication impairment.
+    pub duplicated: u64,
     /// Total payload+encapsulation bytes accepted.
     pub bytes: u64,
 }

@@ -6,6 +6,7 @@
 //! [`Netem`] reproduces those knobs, plus the loss/corruption injection the
 //! session guides' reference stack exposes for robustness testing.
 
+use crate::fault::GilbertElliott;
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::{ByteSize, DataRate};
@@ -31,6 +32,19 @@ pub struct Netem {
     /// updated from the profile before each packet; a shaper is created on
     /// first use if absent.
     pub profile: Option<RateProfile>,
+    /// Link administratively/physically down: every packet dropped (the
+    /// chaos engine's link-flap knob).
+    pub down: bool,
+    /// Optional Gilbert–Elliott bursty-loss channel, stepped per packet.
+    /// Applied on top of (before) the independent `loss` probability.
+    pub ge: Option<GilbertElliott>,
+    /// Fraction of packets held back by `reorder_extra` (the `tc netem
+    /// reorder` analogue: held packets arrive after later ones).
+    pub reorder: f64,
+    /// Extra delay applied to reordered packets.
+    pub reorder_extra: SimDuration,
+    /// Fraction of packets delivered twice (`tc netem duplicate`).
+    pub duplicate: f64,
 }
 
 impl Netem {
@@ -66,6 +80,14 @@ impl Netem {
 
     /// Sample the impairment's verdict for one packet.
     pub fn apply(&mut self, now: SimTime, size: ByteSize, rng: &mut SimRng) -> NetemVerdict {
+        if self.down {
+            return NetemVerdict::Drop;
+        }
+        if let Some(ge) = &mut self.ge {
+            if ge.sample_drop(rng) {
+                return NetemVerdict::Drop;
+            }
+        }
         if self.loss > 0.0 && rng.chance(self.loss) {
             return NetemVerdict::Drop;
         }
@@ -87,7 +109,21 @@ impl Netem {
                 Admission::Drop => return NetemVerdict::Drop,
             }
         }
+        if self.reorder > 0.0 && rng.chance(self.reorder) {
+            // Held back: this packet will pop out behind packets sent
+            // after it — reordering without loss.
+            delay += self.reorder_extra;
+        }
         let corrupt = self.corrupt > 0.0 && rng.chance(self.corrupt);
+        if self.duplicate > 0.0 && rng.chance(self.duplicate) {
+            // The duplicate trails the original by a wire-time-scale gap,
+            // the way a retransmitting link layer duplicates.
+            return NetemVerdict::Duplicate {
+                delay,
+                dup_delay: delay + SimDuration::from_micros(500),
+                corrupt,
+            };
+        }
         NetemVerdict::Deliver { delay, corrupt }
     }
 }
@@ -102,6 +138,16 @@ pub enum NetemVerdict {
         /// Total extra delay to add.
         delay: SimDuration,
         /// Whether to flag the payload as corrupted.
+        corrupt: bool,
+    },
+    /// Packet delivered twice: the original after `delay`, a byte-identical
+    /// copy after `dup_delay`.
+    Duplicate {
+        /// Extra delay for the original.
+        delay: SimDuration,
+        /// Extra delay for the duplicate copy.
+        dup_delay: SimDuration,
+        /// Whether to flag both copies as corrupted.
         corrupt: bool,
     },
 }
@@ -424,6 +470,93 @@ mod tests {
             }
         }
         assert!(dropped, "sustained overload must eventually drop");
+    }
+
+    #[test]
+    fn link_down_drops_everything() {
+        let mut n = Netem {
+            down: true,
+            ..Netem::default()
+        };
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                n.apply(SimTime::ZERO, ByteSize::from_bytes(100), &mut rng),
+                NetemVerdict::Drop
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_episode_drops_in_bursts() {
+        use crate::fault::{GeConfig, GilbertElliott};
+        let mut n = Netem {
+            ge: Some(GilbertElliott::new(GeConfig {
+                good_to_bad: 0.05,
+                bad_to_good: 0.2,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            })),
+            ..Netem::default()
+        };
+        let mut rng = SimRng::seed_from_u64(8);
+        let verdicts: Vec<bool> = (0..5_000)
+            .map(|_| {
+                n.apply(SimTime::ZERO, ByteSize::from_bytes(100), &mut rng) == NetemVerdict::Drop
+            })
+            .collect();
+        let drops = verdicts.iter().filter(|d| **d).count();
+        // Stationary loss = 0.05/(0.05+0.2) = 0.2.
+        assert!((drops as f64 / 5_000.0 - 0.2).abs() < 0.05, "{drops}");
+        // Bursts: a drop is followed by another drop far more often than
+        // the marginal rate alone would predict.
+        let pairs = verdicts.windows(2).filter(|w| w[0]).count();
+        let repeats = verdicts.windows(2).filter(|w| w[0] && w[1]).count();
+        assert!(
+            repeats as f64 / pairs as f64 > 0.5,
+            "loss not bursty: {repeats}/{pairs}"
+        );
+    }
+
+    #[test]
+    fn reorder_holds_back_a_subset() {
+        let mut n = Netem {
+            reorder: 0.25,
+            reorder_extra: SimDuration::from_millis(40),
+            ..Netem::default()
+        };
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut held = 0u32;
+        for _ in 0..4_000 {
+            match n.apply(SimTime::ZERO, ByteSize::from_bytes(100), &mut rng) {
+                NetemVerdict::Deliver { delay, .. } => {
+                    if delay == SimDuration::from_millis(40) {
+                        held += 1;
+                    } else {
+                        assert_eq!(delay, SimDuration::ZERO);
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!((held as f64 / 4_000.0 - 0.25).abs() < 0.03, "{held}");
+    }
+
+    #[test]
+    fn duplicate_emits_trailing_copy() {
+        let mut n = Netem {
+            duplicate: 1.0,
+            ..Netem::default()
+        };
+        let mut rng = SimRng::seed_from_u64(10);
+        match n.apply(SimTime::ZERO, ByteSize::from_bytes(100), &mut rng) {
+            NetemVerdict::Duplicate {
+                delay, dup_delay, ..
+            } => {
+                assert!(dup_delay > delay);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -154,6 +154,27 @@ impl Network {
         &mut self.links[link.0].config.netem
     }
 
+    /// Take a link down (or back up) *and* invalidate the route cache, so
+    /// subsequently-sent packets route around it. Plain `netem_mut` with
+    /// `down = true` keeps existing routes — packets blackhole on the dead
+    /// link, which models an outage the routing layer has not noticed yet;
+    /// `set_down` models one it has.
+    pub fn set_down(&mut self, link: LinkId, down: bool) {
+        self.links[link.0].config.netem.down = down;
+        self.route_cache.clear();
+    }
+
+    /// Every link touching `node` in either direction (for taking a whole
+    /// node out of service).
+    pub fn links_of(&self, node: NodeId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.from == node.0 || l.to == node.0)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
     /// Link counters.
     pub fn link_stats(&self, link: LinkId) -> crate::link::LinkStats {
         self.links[link.0].stats
@@ -232,6 +253,11 @@ impl Network {
             }
             for &lid in &self.adjacency[u] {
                 let link = &self.links[lid.0];
+                // Administratively-down links carry no routes (only
+                // relevant once the cache is invalidated; see `set_down`).
+                if link.config.netem.down {
+                    continue;
+                }
                 let nd = d + link.config.delay;
                 if nd < dist[link.to] {
                     dist[link.to] = nd;
@@ -289,7 +315,7 @@ impl Network {
         let now = self.now();
         let lid = route[hop];
         let size = packet.wire_size();
-        let (exit_time, corrupt) = {
+        let (exit_time, dup_exit, corrupt) = {
             let link = &mut self.links[lid.0];
             let Some(serialized) = link.serialize(now, size) else {
                 self.dropped += 1;
@@ -304,11 +330,32 @@ impl Network {
                 NetemVerdict::Deliver { delay, corrupt } => {
                     link.stats.sent += 1;
                     link.stats.bytes += size.as_bytes();
-                    (serialized + link.config.delay + delay, corrupt)
+                    (serialized + link.config.delay + delay, None, corrupt)
+                }
+                NetemVerdict::Duplicate {
+                    delay,
+                    dup_delay,
+                    corrupt,
+                } => {
+                    link.stats.sent += 1;
+                    link.stats.duplicated += 1;
+                    link.stats.bytes += size.as_bytes();
+                    let base = serialized + link.config.delay;
+                    (base + delay, Some(base + dup_delay), corrupt)
                 }
             }
         };
         packet.corrupted |= corrupt;
+        if let Some(dup_at) = dup_exit {
+            self.queue.schedule(
+                dup_at,
+                NetEvent::LinkExit {
+                    packet: packet.clone(),
+                    route: route.clone(),
+                    hop,
+                },
+            );
+        }
         self.queue.schedule(
             exit_time,
             NetEvent::LinkExit {

@@ -103,6 +103,7 @@ fn token_bucket_never_exceeds_budget() {
                     last_deliver_at = last_deliver_at.max(t + delay);
                 }
                 NetemVerdict::Drop => {}
+                NetemVerdict::Duplicate { .. } => unreachable!("duplication not configured"),
             }
             t += SimDuration::from_micros(spacing_us);
         }
@@ -116,6 +117,124 @@ fn token_bucket_never_exceeds_budget() {
             "delivered {delivered_bytes} budget {budget}"
         );
     }
+}
+
+/// Gilbert–Elliott long-run loss converges to the closed-form stationary
+/// probability π_B·loss_bad + π_G·loss_good.
+#[test]
+fn gilbert_elliott_converges_to_stationary_loss() {
+    use visionsim_net::fault::{GeConfig, GilbertElliott};
+    for i in 0..CASES {
+        let mut rng = case_rng("ge_stationary", i);
+        let config = GeConfig {
+            good_to_bad: 0.005 + rng.uniform() * 0.1,
+            bad_to_good: 0.02 + rng.uniform() * 0.4,
+            loss_good: rng.uniform() * 0.05,
+            loss_bad: 0.3 + rng.uniform() * 0.7,
+        };
+        let expected = config.stationary_loss();
+        let mut ge = GilbertElliott::new(config);
+        let trials = 200_000u64;
+        let drops = (0..trials).filter(|_| ge.sample_drop(&mut rng)).count();
+        let observed = drops as f64 / trials as f64;
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "case {i}: observed {observed:.4} vs stationary {expected:.4}"
+        );
+    }
+}
+
+/// Reorder and duplication impairments never lose or invent payload
+/// bytes: the delivered multiset of payloads is exactly the sent set,
+/// with each packet appearing once or (if duplicated) twice.
+#[test]
+fn reorder_and_duplicate_conserve_payload_bytes() {
+    for i in 0..CASES {
+        let mut rng = case_rng("reorder_dup", i);
+        let reorder = rng.uniform() * 0.5;
+        let duplicate = rng.uniform() * 0.5;
+        let count = rng.uniform_u64(10, 199) as usize;
+        let seed = rng.next_u64();
+        let mut net = Network::new(seed);
+        let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
+        let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
+        net.add_duplex(a, b, LinkConfig::core(SimDuration::from_millis(10)));
+        {
+            let netem = net.netem_mut(visionsim_net::link::LinkId(0));
+            netem.reorder = reorder;
+            netem.reorder_extra = SimDuration::from_millis(30);
+            netem.duplicate = duplicate;
+        }
+        for k in 0..count {
+            let payload = (k as u32).to_be_bytes().to_vec();
+            net.send(a, b, PortPair::new(1, 2), payload).unwrap();
+        }
+        net.run_until(SimTime::from_secs(5));
+        let mut copies = vec![0u32; count];
+        for d in net.poll_delivered(b) {
+            let k = u32::from_be_bytes(d.packet.payload[..4].try_into().unwrap()) as usize;
+            assert!(k < count, "invented payload {k}");
+            copies[k] += 1;
+        }
+        for (k, c) in copies.iter().enumerate() {
+            assert!(
+                (1..=2).contains(c),
+                "case {i}: packet {k} delivered {c} times"
+            );
+        }
+        let extras: u32 = copies.iter().map(|c| c - 1).sum();
+        assert_eq!(
+            extras as u64,
+            net.link_stats(visionsim_net::link::LinkId(0)).duplicated,
+            "duplicate counter disagrees with extra deliveries"
+        );
+        assert_eq!(net.total_dropped(), 0, "reorder/dup must not drop");
+    }
+}
+
+/// FaultPlan replay is pure data: the due-event stream is identical no
+/// matter how work is distributed across worker threads.
+#[test]
+fn fault_plan_replay_identical_across_threads() {
+    use visionsim_core::par::{par_map, set_threads};
+    use visionsim_net::fault::FaultPlan;
+
+    fn replay_digest(idx: u64) -> String {
+        let mut plan = FaultPlan::merged(vec![
+            FaultPlan::flap(
+                SimTime::from_millis(1_000 + idx * 100),
+                SimDuration::from_secs(2),
+            ),
+            FaultPlan::rate_cliff(
+                SimTime::from_secs(3),
+                DataRate::from_kbps(200 + idx),
+                SimDuration::from_secs(2),
+            ),
+            FaultPlan::delay_spike(
+                SimTime::from_millis(4_500),
+                SimDuration::from_millis(300),
+                SimDuration::from_secs(1),
+            ),
+        ]);
+        let mut out = String::new();
+        let mut now = SimTime::ZERO;
+        while now <= SimTime::from_secs(12) {
+            for ev in plan.due(now) {
+                out.push_str(&format!("{:?}@{:?};", ev.kind, ev.at));
+            }
+            now += SimDuration::from_millis(100);
+        }
+        out
+    }
+
+    let idxs: Vec<u64> = (0..16).collect();
+    set_threads(Some(1));
+    let seq: Vec<String> = par_map(idxs.clone(), replay_digest);
+    set_threads(Some(4));
+    let par: Vec<String> = par_map(idxs, replay_digest);
+    set_threads(None);
+    assert_eq!(seq, par, "fault replay diverged across thread counts");
+    assert!(seq.iter().all(|s| s.contains("LinkDown")));
 }
 
 /// Fixed netem delay shifts arrival exactly; never reorders a

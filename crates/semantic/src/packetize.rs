@@ -94,6 +94,11 @@ impl Packetizer {
 /// In-flight frame state: (total fragments, received bodies by index).
 type PendingFrame = (u16, Vec<Option<Vec<u8>>>);
 
+/// Default reassembly-buffer memory cap: generous for real traffic (a few
+/// spatial frames), small enough that a hostile fragment stream cannot
+/// balloon the process.
+pub const DEFAULT_MAX_PENDING_BYTES: usize = 8 * 1024 * 1024;
+
 /// Per-frame reassembly state and statistics.
 #[derive(Debug, Default)]
 pub struct FrameAssembler {
@@ -101,26 +106,55 @@ pub struct FrameAssembler {
     pending: std::collections::BTreeMap<u64, PendingFrame>,
     /// Completed frame count.
     complete: u64,
-    /// Frames abandoned incomplete (superseded by newer frames).
+    /// Frames abandoned incomplete (superseded by newer frames). Includes
+    /// memory-pressure evictions.
     abandoned: u64,
+    /// Frames evicted specifically for memory pressure (subset of
+    /// `abandoned`).
+    evicted: u64,
     /// How many newer frames may be in flight before older incomplete
     /// frames are abandoned (reconstruction is real-time; stale frames are
     /// worthless).
     horizon: u64,
+    /// Body bytes currently buffered across all pending frames.
+    pending_bytes: usize,
+    /// Hard cap on `pending_bytes`; exceeded → oldest frames evicted.
+    max_pending_bytes: usize,
+    /// Frame ids below this have already resolved (completed, abandoned,
+    /// or evicted) and were dropped from `pending`. Late duplicates of a
+    /// resolved frame must not resurrect it as a fresh pending entry — on
+    /// a duplicating link that would double-count completions and leak
+    /// buffer space.
+    resolved_floor: u64,
 }
 
 impl FrameAssembler {
-    /// An assembler with the default 3-frame staleness horizon.
+    /// An assembler with the default 3-frame staleness horizon and the
+    /// default memory cap.
     pub fn new() -> Self {
         FrameAssembler {
             horizon: 3,
+            max_pending_bytes: DEFAULT_MAX_PENDING_BYTES,
             ..FrameAssembler::default()
+        }
+    }
+
+    /// An assembler with an explicit reassembly-buffer cap in bytes.
+    pub fn with_memory_cap(max_pending_bytes: usize) -> Self {
+        FrameAssembler {
+            max_pending_bytes,
+            ..FrameAssembler::new()
         }
     }
 
     /// Feed one fragment; returns the completed frame payload when this
     /// fragment completes its frame.
     pub fn push(&mut self, frag: Fragment) -> Option<(u64, Vec<u8>)> {
+        // A fragment for a frame that already resolved (duplicate delivery,
+        // or a straggler behind an eviction) must not re-open the frame.
+        if frag.frame_id < self.resolved_floor && !self.pending.contains_key(&frag.frame_id) {
+            return None;
+        }
         let entry = self
             .pending
             .entry(frag.frame_id)
@@ -128,6 +162,10 @@ impl FrameAssembler {
         if entry.0 != frag.total || frag.index as usize >= entry.1.len() {
             return None; // inconsistent fragment; ignore
         }
+        if entry.1[frag.index as usize].is_some() {
+            return None; // duplicate fragment; already buffered
+        }
+        self.pending_bytes += frag.body.len();
         entry.1[frag.index as usize] = Some(frag.body);
         let done = entry.1.iter().all(|s| s.is_some());
         let result = if done {
@@ -136,7 +174,9 @@ impl FrameAssembler {
             for s in slots {
                 payload.extend_from_slice(&s.expect("checked complete"));
             }
+            self.pending_bytes -= payload.len();
             self.complete += 1;
+            self.resolved_floor = self.resolved_floor.max(frag.frame_id.saturating_add(1));
             Some((frag.frame_id, payload))
         } else {
             None
@@ -155,13 +195,34 @@ impl FrameAssembler {
             .pending
             .keys()
             .copied()
-            .filter(|&id| id + self.horizon < newest)
+            .filter(|&id| id < newest.saturating_sub(self.horizon))
             .collect();
         for id in stale {
-            self.pending.remove(&id);
+            self.drop_pending(id);
             self.abandoned += 1;
         }
+        // Memory pressure: evict oldest-first until back under the cap. A
+        // single frame larger than the cap evicts itself — it could never
+        // finish inside the budget anyway.
+        while self.pending_bytes > self.max_pending_bytes {
+            let Some(&oldest) = self.pending.keys().next() else {
+                break;
+            };
+            self.drop_pending(oldest);
+            self.abandoned += 1;
+            self.evicted += 1;
+        }
         result
+    }
+
+    /// Remove a pending frame, releasing its buffered bytes and raising
+    /// the resolved floor so stragglers cannot resurrect it.
+    fn drop_pending(&mut self, id: u64) {
+        if let Some((_, slots)) = self.pending.remove(&id) {
+            let held: usize = slots.iter().flatten().map(Vec::len).sum();
+            self.pending_bytes -= held;
+            self.resolved_floor = self.resolved_floor.max(id.saturating_add(1));
+        }
     }
 
     /// Frames fully reassembled.
@@ -172,6 +233,17 @@ impl FrameAssembler {
     /// Frames abandoned incomplete — the reconstruction-failure count.
     pub fn abandoned(&self) -> u64 {
         self.abandoned
+    }
+
+    /// Frames evicted under memory pressure (already counted in
+    /// [`FrameAssembler::abandoned`]).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Body bytes currently held in the reassembly buffer.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
     }
 
     /// Completeness ratio over everything that has resolved so far.
@@ -288,6 +360,66 @@ mod tests {
         };
         // index == total is invalid on the wire.
         assert!(Fragment::parse(&f.to_bytes()).is_none());
+    }
+
+    #[test]
+    fn memory_cap_evicts_oldest_first() {
+        // Cap fits roughly two incomplete frames' worth of fragments.
+        let mut asm = FrameAssembler::with_memory_cap(MTU_PAYLOAD * 2);
+        let mut p = Packetizer::new();
+        // Three frames, each missing its last fragment, each holding one
+        // MTU_PAYLOAD body in the buffer.
+        for _ in 0..3 {
+            let mut frags = p.split(&vec![3u8; MTU_PAYLOAD + 10]);
+            frags.pop();
+            for f in frags {
+                asm.push(f);
+            }
+        }
+        // Third insert pushed pending over 2*MTU → frame 0 was evicted.
+        assert_eq!(asm.evicted(), 1);
+        assert_eq!(asm.abandoned(), 1);
+        assert!(asm.pending_bytes() <= MTU_PAYLOAD * 2);
+    }
+
+    #[test]
+    fn hostile_fragment_flood_stays_bounded() {
+        let cap = 64 * 1024;
+        let mut asm = FrameAssembler::with_memory_cap(cap);
+        // A flood of never-completing two-fragment frames with huge ids,
+        // out of order, with duplicates.
+        for i in 0..10_000u64 {
+            let frag = Fragment {
+                frame_id: u64::MAX - (i % 97) * 1_000,
+                index: 0,
+                total: 2,
+                body: vec![0xAB; 900],
+            };
+            asm.push(frag.clone());
+            asm.push(frag); // duplicate must not double-count
+        }
+        assert!(asm.pending_bytes() <= cap);
+        assert_eq!(asm.completed(), 0);
+    }
+
+    #[test]
+    fn duplicate_fragments_cannot_resurrect_a_completed_frame() {
+        let mut p = Packetizer::new();
+        let mut asm = FrameAssembler::new();
+        let frags = p.split(&vec![5u8; MTU_PAYLOAD * 2]);
+        for f in frags.clone() {
+            asm.push(f);
+        }
+        assert_eq!(asm.completed(), 1);
+        assert_eq!(asm.pending_bytes(), 0);
+        // A duplicating link replays every fragment of the finished frame.
+        for f in frags {
+            assert!(asm.push(f).is_none());
+        }
+        // Nothing re-opened, nothing double-completed, nothing leaked.
+        assert_eq!(asm.completed(), 1);
+        assert_eq!(asm.pending_bytes(), 0);
+        assert_eq!(asm.abandoned(), 0);
     }
 
     #[test]

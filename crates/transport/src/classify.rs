@@ -47,7 +47,7 @@ pub fn classify(snippet: &[u8]) -> WireProtocol {
     match first >> 6 {
         0b10 => {
             // RTCP shares RTP's version bits but uses packet types
-            // 200..=204 in byte 1; check it first (an RTCP type would
+            // 200..=206 in byte 1; check it first (an RTCP type would
             // otherwise parse as an RTP marker + dynamic PT).
             if ReceiverReportPacket::looks_like_rtcp(snippet) {
                 return WireProtocol::Rtcp;
@@ -89,14 +89,15 @@ where
         *votes.entry(classify(s)).or_insert(0) += 1;
         total += 1;
     }
-    if total == 0 {
-        return (WireProtocol::Unknown, 0.0);
-    }
-    let (proto, count) = votes
+    match votes
         .into_iter()
         .max_by_key(|&(p, c)| (c, matches!(p, WireProtocol::Unknown) as usize))
-        .expect("non-empty votes");
-    (proto, count as f64 / total as f64)
+    {
+        Some((proto, count)) => (proto, count as f64 / total as f64),
+        // No snippets at all — an empty flow is simply unknown, never a
+        // panic (tap records can legitimately be empty).
+        None => (WireProtocol::Unknown, 0.0),
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +152,13 @@ mod tests {
         assert_eq!(classify(&[]), WireProtocol::Unknown);
         assert_eq!(classify(&[0x00, 1, 2]), WireProtocol::Unknown);
         assert_eq!(classify(&[0x3F]), WireProtocol::Unknown);
+    }
+
+    #[test]
+    fn empty_flow_is_unknown_not_a_panic() {
+        let (proto, frac) = classify_flow(std::iter::empty());
+        assert_eq!(proto, WireProtocol::Unknown);
+        assert_eq!(frac, 0.0);
     }
 
     #[test]

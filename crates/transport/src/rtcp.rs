@@ -75,9 +75,61 @@ impl ReceiverReportPacket {
     }
 
     /// True when a packet's first bytes look like RTCP (for the passive
-    /// classifier: version 2 + packet type in the RTCP range 200..=204).
+    /// classifier: version 2 + packet type in the RTCP range 200..=206,
+    /// which covers SR/RR/SDES/BYE/APP and the RTPFB/PSFB feedback types).
     pub fn looks_like_rtcp(snippet: &[u8]) -> bool {
-        snippet.len() >= 2 && snippet[0] >> 6 == 2 && (200..=204).contains(&snippet[1])
+        snippet.len() >= 2 && snippet[0] >> 6 == 2 && (200..=206).contains(&snippet[1])
+    }
+}
+
+/// RTCP packet type for payload-specific feedback (RFC 4585).
+pub const PT_PSFB: u8 = 206;
+
+/// PSFB feedback message type for Picture Loss Indication.
+pub const FMT_PLI: u8 = 1;
+
+/// Serialized PLI length: the fixed feedback header only (PLI carries no
+/// FCI payload).
+pub const PLI_LEN: usize = 12;
+
+/// A Picture Loss Indication (RFC 4585 §6.3.1): the receiver lost enough
+/// of the picture that it cannot decode forward and asks the sender for a
+/// fresh keyframe. This is the recovery path every production VCA uses
+/// after a loss burst — decode state is resynchronised by one I-frame
+/// instead of waiting out the GOP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PliPacket {
+    /// SSRC of the receiver requesting the keyframe.
+    pub reporter_ssrc: u32,
+    /// SSRC of the media source being asked.
+    pub source_ssrc: u32,
+}
+
+impl PliPacket {
+    /// Serialize to wire form.
+    pub fn to_bytes(&self) -> [u8; PLI_LEN] {
+        let mut b = [0u8; PLI_LEN];
+        b[0] = 0x80 | FMT_PLI; // V=2, P=0, FMT=1 (PLI)
+        b[1] = PT_PSFB;
+        b[2..4].copy_from_slice(&((PLI_LEN as u16 / 4) - 1).to_be_bytes());
+        b[4..8].copy_from_slice(&self.reporter_ssrc.to_be_bytes());
+        b[8..12].copy_from_slice(&self.source_ssrc.to_be_bytes());
+        b
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(bytes: &[u8]) -> Option<PliPacket> {
+        if bytes.len() < PLI_LEN
+            || bytes[0] >> 6 != 2
+            || bytes[0] & 0x1F != FMT_PLI
+            || bytes[1] != PT_PSFB
+        {
+            return None;
+        }
+        Some(PliPacket {
+            reporter_ssrc: u32::from_be_bytes(bytes[4..8].try_into().ok()?),
+            source_ssrc: u32::from_be_bytes(bytes[8..12].try_into().ok()?),
+        })
     }
 }
 
@@ -136,5 +188,31 @@ mod tests {
         assert!(ReceiverReportPacket::looks_like_rtcp(&rr().to_bytes()));
         assert!(!ReceiverReportPacket::looks_like_rtcp(&[0x80, 96])); // RTP PT 96
         assert!(!ReceiverReportPacket::looks_like_rtcp(&[0x41, 201])); // wrong version
+        assert!(ReceiverReportPacket::looks_like_rtcp(&[0x81, 206])); // PSFB
+        assert!(!ReceiverReportPacket::looks_like_rtcp(&[0x81, 207])); // XR: out of range
+    }
+
+    #[test]
+    fn pli_round_trips() {
+        let pli = PliPacket {
+            reporter_ssrc: 0xDEAD_BEEF,
+            source_ssrc: 0x0102_0304,
+        };
+        assert_eq!(PliPacket::parse(&pli.to_bytes()), Some(pli));
+        assert!(ReceiverReportPacket::looks_like_rtcp(&pli.to_bytes()));
+    }
+
+    #[test]
+    fn pli_rejects_receiver_reports_and_garbage() {
+        assert!(PliPacket::parse(&rr().to_bytes()).is_none());
+        assert!(PliPacket::parse(&[0u8; PLI_LEN]).is_none());
+        let pli = PliPacket {
+            reporter_ssrc: 1,
+            source_ssrc: 2,
+        };
+        assert!(PliPacket::parse(&pli.to_bytes()[..8]).is_none());
+        // RR must not parse as PLI and vice versa even though both pass
+        // the RTCP sniff test.
+        assert!(ReceiverReportPacket::parse(&pli.to_bytes()).is_none());
     }
 }

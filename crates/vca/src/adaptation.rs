@@ -164,6 +164,109 @@ impl PersonaAvailability {
     }
 }
 
+/// What a participant's persona is rendered as right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersonaMode {
+    /// Full spatial persona from the semantic stream.
+    Spatial,
+    /// Degraded: the 2D video fallback is shown instead, because the
+    /// semantic stream starved.
+    TwoDFallback,
+}
+
+/// Graceful-degradation state machine: spatial persona → 2D fallback when
+/// the semantic stream starves, with hysteresis so one marginal interval
+/// cannot flap the rendering mode.
+///
+/// Distinct from [`PersonaAvailability`] (which models the paper's observed
+/// "poor connection" blankout): the ladder is the recovery behaviour a
+/// resilient client *should* have — it swaps in the 2D stream instead of
+/// showing nothing, and only swaps back after a sustained healthy window
+/// (`up_after` > `down_after`, so recovery is deliberately stickier than
+/// failure).
+#[derive(Clone, Debug)]
+pub struct DegradationLadder {
+    mode: PersonaMode,
+    bad_streak: u32,
+    good_streak: u32,
+    /// Completeness below this marks an interval unhealthy.
+    threshold: f64,
+    /// Unhealthy intervals before falling back to 2D.
+    down_after: u32,
+    /// Healthy intervals before restoring the spatial persona.
+    up_after: u32,
+    /// Spatial→2D transitions so far.
+    fallbacks: u32,
+}
+
+impl Default for DegradationLadder {
+    fn default() -> Self {
+        DegradationLadder {
+            mode: PersonaMode::Spatial,
+            bad_streak: 0,
+            good_streak: 0,
+            threshold: 0.9,
+            down_after: 2,
+            up_after: 4,
+            fallbacks: 0,
+        }
+    }
+}
+
+impl DegradationLadder {
+    /// A fresh ladder rendering the spatial persona.
+    pub fn new() -> Self {
+        DegradationLadder::default()
+    }
+
+    /// Current rendering mode.
+    pub fn mode(&self) -> PersonaMode {
+        self.mode
+    }
+
+    /// True while the full spatial persona is rendered.
+    pub fn is_spatial(&self) -> bool {
+        self.mode == PersonaMode::Spatial
+    }
+
+    /// Number of spatial→2D fallback transitions so far.
+    pub fn fallbacks(&self) -> u32 {
+        self.fallbacks
+    }
+
+    /// Feed one interval's semantic frame completeness; returns the mode
+    /// in force after the update.
+    pub fn on_interval(&mut self, completeness: f64) -> PersonaMode {
+        let good = completeness >= self.threshold;
+        match self.mode {
+            PersonaMode::Spatial => {
+                if good {
+                    self.bad_streak = 0;
+                } else {
+                    self.bad_streak += 1;
+                    if self.bad_streak >= self.down_after {
+                        self.mode = PersonaMode::TwoDFallback;
+                        self.fallbacks += 1;
+                        self.good_streak = 0;
+                    }
+                }
+            }
+            PersonaMode::TwoDFallback => {
+                if good {
+                    self.good_streak += 1;
+                    if self.good_streak >= self.up_after {
+                        self.mode = PersonaMode::Spatial;
+                        self.bad_streak = 0;
+                    }
+                } else {
+                    self.good_streak = 0;
+                }
+            }
+        }
+        self.mode
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +386,60 @@ mod tests {
     #[should_panic(expected = "min must not exceed max")]
     fn controller_rejects_inverted_bounds() {
         RateController::new(DataRate::from_kbps(100), DataRate::from_mbps(1));
+    }
+
+    #[test]
+    fn ladder_falls_back_after_sustained_starvation() {
+        let mut dl = DegradationLadder::new();
+        assert!(dl.is_spatial());
+        dl.on_interval(0.2);
+        assert!(dl.is_spatial(), "one bad interval tolerated");
+        dl.on_interval(0.2);
+        assert_eq!(dl.mode(), PersonaMode::TwoDFallback);
+        assert_eq!(dl.fallbacks(), 1);
+    }
+
+    #[test]
+    fn ladder_recovery_is_stickier_than_failure() {
+        let mut dl = DegradationLadder::new();
+        dl.on_interval(0.0);
+        dl.on_interval(0.0);
+        assert!(!dl.is_spatial());
+        for _ in 0..3 {
+            dl.on_interval(1.0);
+            assert!(!dl.is_spatial(), "recovery needs four healthy intervals");
+        }
+        dl.on_interval(1.0);
+        assert!(dl.is_spatial());
+        assert_eq!(dl.fallbacks(), 1, "round trip is one fallback");
+    }
+
+    #[test]
+    fn ladder_does_not_flap_during_a_single_episode() {
+        // One contiguous 2 s starvation episode (intervals at ~1 Hz):
+        // exactly one spatial→2D transition, then recovery.
+        let mut dl = DegradationLadder::new();
+        let timeline = [1.0, 1.0, 0.1, 0.3, 0.2, 0.95, 1.0, 1.0, 1.0, 1.0, 1.0];
+        for c in timeline {
+            dl.on_interval(c);
+        }
+        assert_eq!(dl.fallbacks(), 1, "episode must cause exactly one fallback");
+        assert!(dl.is_spatial(), "must recover after the healthy window");
+    }
+
+    #[test]
+    fn ladder_marginal_interval_resets_recovery_streak() {
+        let mut dl = DegradationLadder::new();
+        dl.on_interval(0.0);
+        dl.on_interval(0.0);
+        dl.on_interval(1.0);
+        dl.on_interval(1.0);
+        dl.on_interval(0.5); // relapse mid-recovery
+        dl.on_interval(1.0);
+        dl.on_interval(1.0);
+        dl.on_interval(1.0);
+        assert!(!dl.is_spatial(), "streak must restart after relapse");
+        dl.on_interval(1.0);
+        assert!(dl.is_spatial());
     }
 }

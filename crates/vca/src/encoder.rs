@@ -55,6 +55,9 @@ pub struct VideoEncoder {
     /// Current quality rung (0, 1]; 1.0 = full ladder.
     quality: f64,
     frame_index: u64,
+    /// Emit an I-frame on the next `next_frame` call regardless of GOP
+    /// position (PLI/keyframe-request recovery).
+    force_i: bool,
 }
 
 /// The lowest quality rung the ladder can drop to (≈180p-class).
@@ -67,6 +70,7 @@ impl VideoEncoder {
             config,
             quality: 1.0,
             frame_index: 0,
+            force_i: false,
         }
     }
 
@@ -96,11 +100,20 @@ impl VideoEncoder {
         self.set_quality(rate.as_bps() as f64 / full);
     }
 
+    /// Request an out-of-band keyframe: the next frame is encoded as an
+    /// I-frame. This is the sender half of PLI recovery — after a loss
+    /// burst the receiver cannot decode P-frames referencing lost data
+    /// until a fresh I-frame resynchronises it.
+    pub fn force_keyframe(&mut self) {
+        self.force_i = true;
+    }
+
     /// Encode the next frame, returning its size.
     pub fn next_frame(&mut self, rng: &mut SimRng) -> ByteSize {
         let mean_bits_per_frame =
             self.config.bitrate_at(self.quality).as_bps() as f64 / self.config.fps;
-        let is_i = self.frame_index.is_multiple_of(self.config.gop as u64);
+        let is_i = self.force_i || self.frame_index.is_multiple_of(self.config.gop as u64);
+        self.force_i = false;
         self.frame_index += 1;
         // With GOP g and ratio r, I-frames carry r× a P-frame's bits and
         // the mean must hold: p·(g-1+r) = g·mean ⇒ p = g·mean/(g-1+r).
@@ -183,6 +196,19 @@ mod tests {
         assert_eq!(enc.quality(), MIN_QUALITY);
         enc.adapt_to(DataRate::from_mbps(100));
         assert_eq!(enc.quality(), 1.0);
+    }
+
+    #[test]
+    fn forced_keyframe_is_i_sized_then_reverts() {
+        let mut enc = VideoEncoder::new(webex_config());
+        let mut rng = SimRng::seed_from_u64(5);
+        enc.next_frame(&mut rng); // consume the GOP-opening I-frame
+        let p = enc.next_frame(&mut rng).as_bytes() as f64;
+        enc.force_keyframe();
+        let forced = enc.next_frame(&mut rng).as_bytes() as f64;
+        let after = enc.next_frame(&mut rng).as_bytes() as f64;
+        assert!(forced > p * 2.0, "forced I {forced} vs P {p}");
+        assert!(after < forced / 2.0, "flag must clear after one frame");
     }
 
     #[test]

@@ -117,6 +117,31 @@ impl ServerAssignment {
     }
 }
 
+/// Pick the failover target after a server-down event: the next-nearest
+/// provider site to `anchor` (the session initiator) whose label is not in
+/// `dead`. Returns `None` when every site of the provider is down —
+/// the session then has nowhere to reconnect and stays dark.
+pub fn failover_site(
+    registry: &SiteRegistry,
+    provider: Provider,
+    anchor: &GeoPoint,
+    dead: &[&str],
+) -> Option<ServerSite> {
+    let mut candidates: Vec<ServerSite> = registry
+        .for_provider(provider)
+        .into_iter()
+        .filter(|s| !dead.contains(&s.label))
+        .collect();
+    candidates.sort_by(|a, b| {
+        let da = a.location().distance_km(anchor);
+        let db = b.location().distance_km(anchor);
+        da.partial_cmp(&db)
+            .expect("finite distances")
+            .then_with(|| a.label.cmp(b.label))
+    });
+    candidates.first().copied()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +209,36 @@ mod tests {
         );
         assert_eq!(a.distinct_sites().len(), 1);
         assert_eq!(a.attachments[0].label, "W");
+    }
+
+    #[test]
+    fn failover_picks_next_nearest_live_site() {
+        let reg = SiteRegistry::us_fleet();
+        let anchor = loc("New York, NY");
+        let primary = reg.nearest(Provider::FaceTime, &anchor).unwrap();
+        let backup = failover_site(&reg, Provider::FaceTime, &anchor, &[primary.label]).unwrap();
+        assert_ne!(backup.label, primary.label);
+        // The backup is farther than the primary but still the best of the rest.
+        for s in reg.for_provider(Provider::FaceTime) {
+            if s.label != primary.label {
+                assert!(
+                    backup.location().distance_km(&anchor)
+                        <= s.location().distance_km(&anchor) + 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failover_with_every_site_dead_is_none() {
+        let reg = SiteRegistry::us_fleet();
+        let anchor = loc("New York, NY");
+        let all: Vec<&str> = reg
+            .for_provider(Provider::FaceTime)
+            .into_iter()
+            .map(|s| s.label)
+            .collect();
+        assert!(failover_site(&reg, Provider::FaceTime, &anchor, &all).is_none());
     }
 
     #[test]

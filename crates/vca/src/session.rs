@@ -16,12 +16,15 @@
 //! Opus-class audio alongside every video/persona stream, and `tc`-style
 //! impairments attachable to any participant's uplink.
 
-use crate::adaptation::{PersonaAvailability, PersonaState, RateController, ReceiverReport};
+use crate::adaptation::{
+    DegradationLadder, PersonaAvailability, PersonaMode, PersonaState, RateController,
+    ReceiverReport,
+};
 use crate::encoder::{VideoEncoder, VideoEncoderConfig};
 use crate::profile::{AppProfile, PersonaType, Topology};
 use crate::scene::{GazeDynamics, SeatingLayout};
-use crate::server::{AssignmentPolicy, ServerAssignment};
-use std::collections::HashMap;
+use crate::server::{failover_site, AssignmentPolicy, ServerAssignment};
+use std::collections::{HashMap, HashSet};
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::DataRate;
@@ -30,7 +33,8 @@ use visionsim_geo::cities::City;
 use visionsim_geo::geodb::{GeoDb, NetAddr};
 use visionsim_geo::propagation::LatencyModel;
 use visionsim_geo::sites::{Provider, SiteRegistry};
-use visionsim_net::link::LinkConfig;
+use visionsim_net::fault::{apply_to_netem, FaultEvent, FaultKind, FaultPlan};
+use visionsim_net::link::{LinkConfig, LinkId};
 use visionsim_net::netem::Netem;
 use visionsim_net::network::{Network, NodeId};
 use visionsim_net::packet::PortPair;
@@ -70,8 +74,10 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Server assignment policy.
     pub policy: AssignmentPolicy,
-    /// Optional uplink shaping: (participant index, rate) — `tc tbf`.
-    pub uplink_limit: Option<(usize, DataRate)>,
+    /// Uplink shaping, per participant: (participant index, rate) —
+    /// `tc tbf` on each listed uplink. Any subset of participants may be
+    /// shaped in the same session.
+    pub uplink_limits: Vec<(usize, DataRate)>,
     /// Optional time-varying uplink shaping: (participant index, profile)
     /// — trace playback of a fluctuating access network.
     pub uplink_profile: Option<(usize, visionsim_net::netem::RateProfile)>,
@@ -81,6 +87,11 @@ pub struct SessionConfig {
     pub layout: SeatingLayout,
     /// Visibility optimizations active on the headsets.
     pub visibility: VisibilityFlags,
+    /// Chaos schedules, per participant: (participant index, plan). Netem
+    /// events mutate that participant's access link as virtual time
+    /// advances; `ServerDown` events take out the SFU site the participant
+    /// is attached to (the session then fails over).
+    pub fault_plans: Vec<(usize, FaultPlan)>,
 }
 
 impl SessionConfig {
@@ -109,11 +120,12 @@ impl SessionConfig {
             duration: SimDuration::from_secs(30),
             seed,
             policy: AssignmentPolicy::NearestToInitiator,
-            uplink_limit: None,
+            uplink_limits: Vec::new(),
             uplink_profile: None,
             extra_delay: None,
             layout: SeatingLayout::Arc,
             visibility: VisibilityFlags::vision_pro(),
+            fault_plans: Vec::new(),
         }
     }
 
@@ -134,11 +146,12 @@ impl SessionConfig {
             duration: SimDuration::from_secs(30),
             seed,
             policy: AssignmentPolicy::NearestToInitiator,
-            uplink_limit: None,
+            uplink_limits: Vec::new(),
             uplink_profile: None,
             extra_delay: None,
             layout: SeatingLayout::Arc,
             visibility: VisibilityFlags::vision_pro(),
+            fault_plans: Vec::new(),
         }
     }
 }
@@ -172,6 +185,19 @@ pub struct SessionOutcome {
     pub geodb: GeoDb,
     /// Final encoder quality per participant (2D only; 1.0 otherwise).
     pub final_quality: Vec<f64>,
+    /// Rendering-mode timeline per participant (spatial sessions): the
+    /// graceful-degradation ladder's decisions at each feedback interval.
+    pub mode_log: Vec<Vec<(SimTime, PersonaMode)>>,
+    /// Spatial→2D fallback transitions per participant.
+    pub fallbacks: Vec<u32>,
+    /// Encoder quality per feedback interval per participant (2D only).
+    pub quality_log: Vec<Vec<(SimTime, f64)>>,
+    /// SFU failovers that happened: (completion time, new site label).
+    pub failovers: Vec<(SimTime, String)>,
+    /// PLI keyframe requests sent per participant (as receiver).
+    pub pli_sent: Vec<u64>,
+    /// Keyframes forced by incoming PLIs per participant (as sender).
+    pub keyframes_forced: Vec<u64>,
 }
 
 impl SessionOutcome {
@@ -187,6 +213,21 @@ impl SessionOutcome {
             .filter(|(_, s)| *s == PersonaState::Available)
             .count();
         up as f64 / timeline.len() as f64
+    }
+
+    /// Fraction of the session a participant rendered the full spatial
+    /// persona (1.0 when the mode log is empty — 2D sessions have no
+    /// ladder).
+    pub fn spatial_fraction(&self, participant: usize) -> f64 {
+        let timeline = &self.mode_log[participant];
+        if timeline.is_empty() {
+            return 1.0;
+        }
+        let spatial = timeline
+            .iter()
+            .filter(|(_, m)| *m == PersonaMode::Spatial)
+            .count();
+        spatial as f64 / timeline.len() as f64
     }
 }
 
@@ -223,6 +264,9 @@ struct ReceiverPeer {
     frames_completed_interval: u64,
     frames_lost_interval: u64,
     abandoned_snapshot: u64,
+    /// When the last PLI was sent toward this sender (rate-limits keyframe
+    /// requests during a sustained loss burst).
+    last_pli_at: Option<SimTime>,
 }
 
 impl ReceiverPeer {
@@ -238,6 +282,7 @@ impl ReceiverPeer {
             frames_completed_interval: 0,
             frames_lost_interval: 0,
             abandoned_snapshot: 0,
+            last_pli_at: None,
         }
     }
 
@@ -344,6 +389,9 @@ impl SessionRunner {
         let mut clients = Vec::with_capacity(n);
         let mut aps = Vec::with_capacity(n);
         let mut tap_ids: Vec<TapId> = Vec::with_capacity(n);
+        // Access link ids per participant (uplink, downlink) — the chaos
+        // engine's fault plans mutate these mid-run.
+        let mut access_links: Vec<(LinkId, LinkId)> = Vec::with_capacity(n);
         for p in &cfg.participants {
             let client = net.add_node(
                 &format!("{} ({})", p.name, p.device),
@@ -351,11 +399,11 @@ impl SessionRunner {
                 p.city.location,
             );
             let ap = net.add_node(&format!("{} AP", p.name), "access", p.city.location);
-            let (up, _down) = net.add_duplex(client, ap, LinkConfig::wifi_access());
+            let (up, down) = net.add_duplex(client, ap, LinkConfig::wifi_access());
             // tc attaches at the client's uplink egress.
-            if let Some((idx, rate)) = cfg.uplink_limit {
-                if idx == clients.len() {
-                    *net.netem_mut(up) = Netem::with_rate_limit(rate);
+            for (idx, rate) in &cfg.uplink_limits {
+                if *idx == clients.len() {
+                    *net.netem_mut(up) = Netem::with_rate_limit(*rate);
                 }
             }
             if let Some((idx, profile)) = &cfg.uplink_profile {
@@ -371,6 +419,7 @@ impl SessionRunner {
             tap_ids.push(net.add_tap(ap));
             clients.push(client);
             aps.push(ap);
+            access_links.push((up, down));
         }
 
         // The measured system only has the US fleet; the geo-distributed
@@ -380,7 +429,11 @@ impl SessionRunner {
             AssignmentPolicy::GeoDistributed => SiteRegistry::geo_distributed(cfg.provider),
         };
         let locations: Vec<_> = cfg.participants.iter().map(|p| p.city.location).collect();
-        let (assignment, servers): (Option<ServerAssignment>, Vec<NodeId>) = match topology {
+        // Site bookkeeping persists past construction: SFU failover adds
+        // sites (and backbone links) mid-run.
+        let mut site_nodes: HashMap<&'static str, NodeId> = HashMap::new();
+        let mut backbone_pairs: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let (assignment, mut servers): (Option<ServerAssignment>, Vec<NodeId>) = match topology {
             Topology::P2P => {
                 // Direct AP↔AP core path.
                 for i in 0..n {
@@ -400,7 +453,6 @@ impl SessionRunner {
                     cfg.seed,
                 );
                 // One node per distinct site; APs link to their attachment.
-                let mut site_nodes: HashMap<&'static str, NodeId> = HashMap::new();
                 for site in assignment.distinct_sites() {
                     let node = net.add_node(
                         &format!("{} {}", site.provider, site.label),
@@ -420,14 +472,15 @@ impl SessionRunner {
                 let distinct = assignment.distinct_sites();
                 for i in 0..distinct.len() {
                     for j in i + 1..distinct.len() {
+                        let (a, b) = (
+                            site_nodes[distinct[i].label],
+                            site_nodes[distinct[j].label],
+                        );
                         let d = latency
                             .one_way(&distinct[i].location(), &distinct[j].location())
                             .mul_f64(0.8);
-                        net.add_duplex(
-                            site_nodes[distinct[i].label],
-                            site_nodes[distinct[j].label],
-                            LinkConfig::core(d),
-                        );
+                        net.add_duplex(a, b, LinkConfig::core(d));
+                        backbone_pairs.insert((a.min(b), a.max(b)));
                     }
                 }
                 (Some(assignment), attach_nodes)
@@ -532,12 +585,121 @@ impl SessionRunner {
         let mut e2e_latency_ms: Vec<visionsim_core::stats::Percentiles> =
             (0..n).map(|_| visionsim_core::stats::Percentiles::new()).collect();
 
+        // --- Chaos state ------------------------------------------------
+        let mut fault_plans: Vec<(usize, FaultPlan)> = cfg.fault_plans.clone();
+        // Graceful degradation: spatial → 2D fallback per participant.
+        let mut ladders: Vec<DegradationLadder> =
+            (0..n).map(|_| DegradationLadder::new()).collect();
+        let mut mode_log: Vec<Vec<(SimTime, PersonaMode)>> = vec![Vec::new(); n];
+        let mut quality_log: Vec<Vec<(SimTime, f64)>> = vec![Vec::new(); n];
+        // SFU failover: sites currently dead, nodes to stop forwarding
+        // from, and the scheduled reattachment (due time, affected
+        // participants).
+        let mut dead_sites: Vec<&'static str> = Vec::new();
+        let mut dead_nodes: HashSet<NodeId> = HashSet::new();
+        let mut pending_failover: Option<(SimTime, Vec<usize>)> = None;
+        let mut failovers: Vec<(SimTime, String)> = Vec::new();
+        // PLI recovery accounting.
+        let mut pli_sent = vec![0u64; n];
+        let mut keyframes_forced = vec![0u64; n];
+
         // --- Main loop --------------------------------------------------
         let tick = SimDuration::FRAME_90FPS;
         let total_ticks = cfg.duration.as_nanos() / tick.as_nanos();
         let feedback_every = 90u64; // ~1 s
         for t in 0..total_ticks {
             let now = SimTime::from_nanos(t * tick.as_nanos());
+
+            // Chaos engine: apply every fault event due by now.
+            for (idx, plan) in fault_plans.iter_mut() {
+                let due: Vec<FaultEvent> = plan.due(now).to_vec();
+                for ev in due {
+                    let (up, down) = access_links[*idx];
+                    match ev.kind {
+                        FaultKind::ServerDown { detect, reconnect } => {
+                            // Take out the SFU site this participant is
+                            // attached to; everyone attached there goes
+                            // dark until the reconnect completes.
+                            if topology != Topology::Sfu {
+                                continue;
+                            }
+                            let victim = servers[*idx];
+                            if dead_nodes.contains(&victim) {
+                                continue;
+                            }
+                            dead_nodes.insert(victim);
+                            if let Some((&label, _)) =
+                                site_nodes.iter().find(|(_, &node)| node == victim)
+                            {
+                                dead_sites.push(label);
+                            }
+                            for lid in net.links_of(victim) {
+                                net.set_down(lid, true);
+                            }
+                            let affected: Vec<usize> =
+                                (0..n).filter(|&p| servers[p] == victim).collect();
+                            pending_failover = Some((now + detect + reconnect, affected));
+                        }
+                        // Radio outages cut both directions of the access
+                        // link; every other impairment applies at the
+                        // uplink egress, where tc attaches.
+                        FaultKind::LinkDown | FaultKind::LinkUp => {
+                            apply_to_netem(net.netem_mut(up), &ev.kind);
+                            apply_to_netem(net.netem_mut(down), &ev.kind);
+                        }
+                        _ => apply_to_netem(net.netem_mut(up), &ev.kind),
+                    }
+                }
+            }
+
+            // SFU failover: reattach affected participants to the
+            // next-nearest live site once the reconnection gap elapses.
+            if let Some((due_at, affected)) = &pending_failover {
+                if now >= *due_at {
+                    let affected = affected.clone();
+                    pending_failover = None;
+                    if let Some(site) =
+                        failover_site(&registry, cfg.provider, &locations[0], &dead_sites)
+                    {
+                        let node = *site_nodes.entry(site.label).or_insert_with(|| {
+                            net.add_node(
+                                &format!("{} {}", site.provider, site.label),
+                                &format!("{}", site.provider),
+                                site.location(),
+                            )
+                        });
+                        for &p in &affected {
+                            let d = latency.one_way(&locations[p], &site.location());
+                            net.add_duplex(aps[p], node, LinkConfig::core(d));
+                            servers[p] = node;
+                        }
+                        // Extend the backbone to every other live site.
+                        let others: Vec<NodeId> = site_nodes
+                            .values()
+                            .copied()
+                            .filter(|&s| s != node && !dead_nodes.contains(&s))
+                            .collect();
+                        for other in others {
+                            let pair = (node.min(other), node.max(other));
+                            if backbone_pairs.insert(pair) {
+                                let d = latency
+                                    .one_way(
+                                        &site.location(),
+                                        &net.geodb()
+                                            .lookup(net.addr(other))
+                                            .map(|e| e.location)
+                                            .unwrap_or_else(|| site.location()),
+                                    )
+                                    .mul_f64(0.8);
+                                net.add_duplex(node, other, LinkConfig::core(d));
+                            }
+                        }
+                        failovers.push((now, site.label.to_string()));
+                    }
+                    // No live site left: the session stays dark — degraded,
+                    // not aborted.
+                }
+            }
 
             // Senders.
             for (i, state) in senders.iter_mut().enumerate() {
@@ -634,10 +796,19 @@ impl SessionRunner {
 
             // SFU forwarding: servers relay to every other participant.
             if topology == Topology::Sfu {
+                // Dead sites forward nothing; drain whatever was already
+                // in flight toward them.
+                let drained: Vec<NodeId> = dead_nodes.iter().copied().collect();
+                for dn in drained {
+                    net.poll_delivered(dn);
+                }
                 let mut server_list = servers.clone();
                 server_list.sort_unstable();
                 server_list.dedup();
                 for server in server_list {
+                    if dead_nodes.contains(&server) {
+                        continue;
+                    }
                     for d in net.poll_delivered(server) {
                         let Some((sender, _)) = sender_of(d.packet.ports.src, n) else {
                             continue;
@@ -662,6 +833,19 @@ impl SessionRunner {
                     // stream is being reported on: close the loop.
                     if kind == StreamKind::Feedback {
                         if d.packet.corrupted {
+                            continue;
+                        }
+                        // PLI: the remote receiver lost decode state and
+                        // asks this sender for a fresh keyframe.
+                        if let Some(pli) =
+                            visionsim_transport::rtcp::PliPacket::parse(&d.packet.payload)
+                        {
+                            if pli.source_ssrc == r as u32 + 1 {
+                                if let SenderState::Video { encoder, .. } = &mut senders[r] {
+                                    encoder.force_keyframe();
+                                    keyframes_forced[r] += 1;
+                                }
+                            }
                             continue;
                         }
                         if let Some(rr) =
@@ -744,14 +928,36 @@ impl SessionRunner {
                                 visionsim_transport::rtp::RtpPacket::parse(&d.packet.payload)
                             {
                                 let seq = pkt.header.seq;
+                                let mut gap_seen = false;
                                 if let Some(last) = peer.last_seq {
                                     let gap = seq.wrapping_sub(last) as u64;
                                     if gap > 1 && gap < 1_000 {
                                         peer.lost += gap - 1;
+                                        gap_seen = true;
                                     }
                                 }
                                 peer.last_seq = Some(seq);
                                 peer.received += 1;
+                                // A gap means decode state is broken until
+                                // the next I-frame: ask for one now, at
+                                // most twice a second per sender.
+                                let cooled = peer
+                                    .last_pli_at
+                                    .is_none_or(|at| now.since(at) >= SimDuration::from_millis(500));
+                                if gap_seen && cooled {
+                                    peer.last_pli_at = Some(now);
+                                    pli_sent[r] += 1;
+                                    let pli = visionsim_transport::rtcp::PliPacket {
+                                        reporter_ssrc: r as u32 + 1,
+                                        source_ssrc: sender as u32 + 1,
+                                    };
+                                    net.send(
+                                        clients[r],
+                                        clients[sender],
+                                        PortPair::new(RTCP_PORT_BASE + r as u16, RTCP_PORT),
+                                        pli.to_bytes().to_vec(),
+                                    );
+                                }
                             }
                         }
                     }
@@ -778,8 +984,10 @@ impl SessionRunner {
                         .zip(&seat_drift)
                         .map(|(&p, &d)| PersonaInstance::paper_ladder(p + d))
                         .collect();
-                    // Unavailable personas are not rendered.
-                    let renders = if availability[r].is_available() {
+                    // Unavailable personas are not rendered; a participant
+                    // degraded to the 2D fallback renders no spatial
+                    // geometry either (the fallback stream replaces it).
+                    let renders = if availability[r].is_available() && ladders[r].is_spatial() {
                         pipeline.evaluate(&viewer, &personas)
                     } else {
                         Vec::new()
@@ -804,6 +1012,10 @@ impl SessionRunner {
                             }
                             let state = availability[r].on_interval(worst);
                             availability_log[r].push((now, state));
+                            // The same observable drives graceful
+                            // degradation, with stickier recovery.
+                            let mode = ladders[r].on_interval(worst);
+                            mode_log[r].push((now, mode));
                         }
                         PersonaType::TwoD => {
                             // Emit in-band RTCP receiver reports toward
@@ -843,6 +1055,9 @@ impl SessionRunner {
                                     payload,
                                 );
                             }
+                            if let SenderState::Video { encoder, .. } = &senders[r] {
+                                quality_log[r].push((now, encoder.quality()));
+                            }
                         }
                     }
                 }
@@ -873,6 +1088,12 @@ impl SessionRunner {
             e2e_latency_ms,
             geodb: net.geodb().clone(),
             final_quality,
+            mode_log,
+            fallbacks: ladders.iter().map(|l| l.fallbacks()).collect(),
+            quality_log,
+            failovers,
+            pli_sent,
+            keyframes_forced,
         }
     }
 }
@@ -999,7 +1220,7 @@ mod tests {
             6,
         );
         cfg.duration = SimDuration::from_secs(12);
-        cfg.uplink_limit = Some((0, DataRate::from_kbps(400)));
+        cfg.uplink_limits = vec![(0, DataRate::from_kbps(400))];
         let out = SessionRunner::new(cfg).run();
         // The receiver of the constrained sender (participant 1) sees the
         // persona go down.
@@ -1032,7 +1253,7 @@ mod tests {
             8,
         );
         cfg.duration = SimDuration::from_secs(15);
-        cfg.uplink_limit = Some((0, DataRate::from_mbps(1)));
+        cfg.uplink_limits = vec![(0, DataRate::from_mbps(1))];
         let out = SessionRunner::new(cfg).run();
         assert!(
             out.final_quality[0] < 0.5,

@@ -35,7 +35,7 @@ fn main() {
             9 ^ kbps,
         );
         cfg.duration = SimDuration::from_secs(15);
-        cfg.uplink_limit = Some((0, limit));
+        cfg.uplink_limits = vec![(0, limit)];
         let spatial = SessionRunner::new(cfg).run();
         let up_frac = spatial.availability_fraction(1);
         let spatial_str = if up_frac > 0.8 {
@@ -51,7 +51,7 @@ fn main() {
             11 ^ kbps,
         );
         cfg.duration = SimDuration::from_secs(15);
-        cfg.uplink_limit = Some((0, limit));
+        cfg.uplink_limits = vec![(0, limit)];
         let webex = SessionRunner::new(cfg).run();
 
         println!(

@@ -28,7 +28,7 @@ fn main() {
         );
         cfg.duration = SimDuration::from_secs(15);
         if let Some(kbps) = limit {
-            cfg.uplink_limit = Some((0, DataRate::from_kbps(kbps)));
+            cfg.uplink_limits = vec![(0, DataRate::from_kbps(kbps))];
         }
         let out = SessionRunner::new(cfg).run();
 

@@ -4,7 +4,7 @@
 //! A single test function drives both configurations so the global
 //! `core::par::set_threads` override is never raced by the libtest runner.
 
-use visionsim::experiments::{extensions, figure6, mesh_streaming, table1};
+use visionsim::experiments::{extensions, figure6, mesh_streaming, resilience, table1};
 use visionsim::core::par;
 
 /// Render a small-but-representative slice of the suite at `seed`.
@@ -13,6 +13,7 @@ fn artifacts(seed: u64) -> String {
     out.push_str(&format!("{}", table1::run(3, seed)));
     out.push_str(&format!("{}", figure6::run(4, seed)));
     out.push_str(&format!("{}", mesh_streaming::run(2, seed)));
+    out.push_str(&format!("{}", resilience::run(8, seed)));
     out.push_str(&extensions::format_fec(&extensions::fec_under_loss(
         60, 1_500, seed,
     )));
