@@ -19,6 +19,29 @@ VISIONSIM_THREADS=4 cargo test -q --test fault_injection
 VISIONSIM_THREADS=1 cargo test -q -p visionsim-experiments resilience
 VISIONSIM_THREADS=4 cargo test -q -p visionsim-experiments resilience
 
+echo "== sanitizer explicitly on and off =="
+# Debug tests default the sanitizer on; exercise both explicit settings on
+# the crates that carry check sites (core, net) and the hostile decoders.
+VISIONSIM_SANITIZE=1 cargo test -q -p visionsim-core -p visionsim-net -p visionsim-compress -p visionsim-mesh
+VISIONSIM_SANITIZE=0 cargo test -q -p visionsim-core -p visionsim-net
+
+echo "== supervised regenerate: quarantine + resume smoke =="
+ARTDIR=$(mktemp -d)
+# An injected panic must quarantine one artifact, let the rest finish,
+# and exit non-zero with a summary.
+if VISIONSIM_ARTIFACT_DIR="$ARTDIR" VISIONSIM_FAIL_ARTIFACT=figure5 \
+   ./target/release/regenerate 2024 > /dev/null; then
+  echo "regenerate should exit non-zero when an artifact is quarantined" >&2
+  exit 1
+fi
+test ! -f "$ARTDIR/figure5.txt" || { echo "quarantined artifact was written" >&2; exit 1; }
+test -f "$ARTDIR/table1.txt" || { echo "surviving artifacts were not written" >&2; exit 1; }
+test -f "$ARTDIR/manifest.json" || { echo "manifest missing after failure" >&2; exit 1; }
+# --resume must complete only the missing artifact from the manifest.
+VISIONSIM_ARTIFACT_DIR="$ARTDIR" ./target/release/regenerate 2024 --resume > /dev/null
+test -f "$ARTDIR/figure5.txt" || { echo "resume did not regenerate the failed artifact" >&2; exit 1; }
+rm -rf "$ARTDIR"
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -5,6 +5,8 @@
 //! up to a bounded chain depth. Greedy parsing with a one-step lazy
 //! heuristic (defer a match if the next position matches longer).
 
+use visionsim_core::SimError;
+
 /// Smallest useful match.
 pub const MIN_MATCH: usize = 3;
 /// Longest encodable match.
@@ -147,14 +149,20 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
     tokens
 }
 
-/// Reconstruct the original bytes from tokens.
-pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+/// Reconstruct the original bytes from tokens. Fails on a match whose
+/// distance reaches before the start of the output (hostile or corrupt
+/// token streams).
+pub fn detokenize(tokens: &[Token]) -> Result<Vec<u8>, SimError> {
     let mut out = Vec::new();
     for t in tokens {
         match *t {
             Token::Literal(b) => out.push(b),
             Token::Match { len, dist } => {
-                assert!(dist >= 1 && dist <= out.len(), "bad distance {dist}");
+                if dist < 1 || dist > out.len() {
+                    return Err(SimError::Inconsistent {
+                        what: "lz77 match distance",
+                    });
+                }
                 let start = out.len() - dist;
                 // Overlapping copies are the point (run-length encoding).
                 for k in 0..len {
@@ -164,7 +172,7 @@ pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -173,7 +181,7 @@ mod tests {
 
     fn round_trip(data: &[u8]) {
         let tokens = tokenize(data);
-        assert_eq!(detokenize(&tokens), data);
+        assert_eq!(detokenize(&tokens).as_deref(), Ok(data));
     }
 
     #[test]
@@ -188,7 +196,7 @@ mod tests {
     fn repetitive_text_round_trips_and_finds_matches() {
         let data = b"the quick brown fox the quick brown fox the quick brown fox";
         let tokens = tokenize(data);
-        assert_eq!(detokenize(&tokens), data);
+        assert_eq!(detokenize(&tokens).as_deref(), Ok(&data[..]));
         assert!(
             tokens.iter().any(|t| matches!(t, Token::Match { .. })),
             "no matches found in repetitive input"
@@ -201,7 +209,7 @@ mod tests {
         // "aaaa..." compresses to one literal + one overlapping match.
         let data = vec![b'a'; 300];
         let tokens = tokenize(&data);
-        assert_eq!(detokenize(&tokens), data);
+        assert_eq!(detokenize(&tokens).as_deref(), Ok(&data[..]));
         assert!(tokens.len() <= 4, "run should collapse, got {tokens:?}");
     }
 
@@ -243,8 +251,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad distance")]
     fn detokenize_rejects_bad_distance() {
-        detokenize(&[Token::Match { len: 3, dist: 5 }]);
+        assert_eq!(
+            detokenize(&[Token::Match { len: 3, dist: 5 }]),
+            Err(SimError::Inconsistent {
+                what: "lz77 match distance"
+            })
+        );
     }
 }

@@ -17,6 +17,7 @@
 use crate::lz77::{self, Token, MIN_MATCH};
 use crate::range::{BitModel, RangeDecoder, RangeEncoder};
 use crate::varint;
+use visionsim_core::SimError;
 
 const LITERAL_CONTEXTS: usize = 16;
 
@@ -84,30 +85,14 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Errors from [`decompress`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DecompressError {
-    /// The header varint is missing or malformed.
-    BadHeader,
-    /// The range-coded body is truncated or inconsistent.
-    Corrupt,
-}
-
-impl std::fmt::Display for DecompressError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecompressError::BadHeader => write!(f, "malformed length header"),
-            DecompressError::Corrupt => write!(f, "corrupt compressed body"),
-        }
-    }
-}
-
-impl std::error::Error for DecompressError {}
-
 /// Decompress a stream produced by [`compress`].
-pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
-    let (orig_len, header) = varint::read_u64(input).ok_or(DecompressError::BadHeader)?;
-    let orig_len = usize::try_from(orig_len).map_err(|_| DecompressError::BadHeader)?;
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, SimError> {
+    let (orig_len, header) = varint::read_u64(input).ok_or(SimError::Truncated {
+        what: "lzma length header",
+    })?;
+    let orig_len = usize::try_from(orig_len).map_err(|_| SimError::Corrupt {
+        what: "lzma length header",
+    })?;
     if orig_len == 0 {
         return Ok(Vec::new());
     }
@@ -116,15 +101,20 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
     // as the range decoder reads meaningfully past the end of a truncated
     // body rather than synthesizing output from phantom zero bytes.
     if orig_len > MAX_DECODED_LEN {
-        return Err(DecompressError::BadHeader);
+        return Err(SimError::LimitExceeded {
+            what: "lzma claimed decompressed length",
+            limit: MAX_DECODED_LEN as u64,
+        });
     }
-    let mut dec = RangeDecoder::new(&input[header..]).ok_or(DecompressError::Corrupt)?;
+    let mut dec = RangeDecoder::new(&input[header..])?;
     let mut models = Models::new();
     let mut out: Vec<u8> = Vec::with_capacity(orig_len.min(1 << 20));
     let mut prev_byte: u8 = 0;
     while out.len() < orig_len {
         if dec.overrun() > 8 {
-            return Err(DecompressError::Corrupt);
+            return Err(SimError::Truncated {
+                what: "lzma range-coded body",
+            });
         }
         if dec.decode_bit(&mut models.is_match) {
             let len = dec.decode_tree(&mut models.len_tree, 9) as usize + MIN_MATCH;
@@ -135,7 +125,9 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
                 (1usize << slot) + dec.decode_direct(slot) as usize
             };
             if dist > out.len() || out.len() + len > orig_len {
-                return Err(DecompressError::Corrupt);
+                return Err(SimError::Corrupt {
+                    what: "lzma match reference",
+                });
             }
             let start = out.len() - dist;
             for k in 0..len {

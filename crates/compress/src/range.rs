@@ -5,6 +5,8 @@
 //! coded through bit trees. This is the same construction LZMA uses, which
 //! is exactly what the paper ran over its keypoint traces.
 
+use visionsim_core::SimError;
+
 /// Number of probability bits (LZMA convention).
 const PROB_BITS: u32 = 11;
 /// Initial probability = 0.5.
@@ -148,18 +150,20 @@ pub struct RangeDecoder<'a> {
 }
 
 impl<'a> RangeDecoder<'a> {
-    /// Initialize over encoder output. Returns `None` if the stream is too
-    /// short to contain the 5-byte preamble.
-    pub fn new(input: &'a [u8]) -> Option<Self> {
+    /// Initialize over encoder output. Fails if the stream is too short to
+    /// contain the 5-byte preamble.
+    pub fn new(input: &'a [u8]) -> Result<Self, SimError> {
         if input.len() < 5 {
-            return None;
+            return Err(SimError::Truncated {
+                what: "range coder preamble",
+            });
         }
         let mut code = 0u32;
         // First byte is always 0 (the initial cache); skip it.
         for &b in &input[1..5] {
             code = (code << 8) | b as u32;
         }
-        Some(RangeDecoder {
+        Ok(RangeDecoder {
             code,
             range: u32::MAX,
             input,
@@ -332,6 +336,9 @@ mod tests {
 
     #[test]
     fn short_input_rejected() {
-        assert!(RangeDecoder::new(&[1, 2, 3]).is_none());
+        assert!(matches!(
+            RangeDecoder::new(&[1, 2, 3]),
+            Err(SimError::Truncated { .. })
+        ));
     }
 }

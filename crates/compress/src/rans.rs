@@ -12,6 +12,7 @@
 //! ```
 
 use crate::varint;
+use visionsim_core::SimError;
 
 /// Hard ceiling on a stream's claimed decoded length (256 MiB).
 pub const MAX_DECODED_LEN: usize = 256 << 20;
@@ -130,25 +131,38 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 }
 
 /// Decode a stream produced by [`encode`].
-pub fn decode(input: &[u8]) -> Option<Vec<u8>> {
-    let (n, mut pos) = varint::read_u64(input)?;
-    let n = usize::try_from(n).ok()?;
+pub fn decode(input: &[u8]) -> Result<Vec<u8>, SimError> {
+    let (n, mut pos) = varint::read_u64(input).ok_or(SimError::Truncated {
+        what: "rans length header",
+    })?;
+    let n = usize::try_from(n).map_err(|_| SimError::Corrupt {
+        what: "rans length header",
+    })?;
     if n == 0 {
-        return Some(Vec::new());
+        return Ok(Vec::new());
     }
     // A single-symbol model legitimately costs ~0 bits/symbol, so output
     // size cannot be bounded by input size; cap the claim outright
     // instead (the workspace never encodes anything near this).
     if n > MAX_DECODED_LEN {
-        return None;
+        return Err(SimError::LimitExceeded {
+            what: "rans claimed decoded length",
+            limit: MAX_DECODED_LEN as u64,
+        });
     }
-    let (freqs, table_len) = read_freq_table(&input[pos..])?;
+    let (freqs, table_len) = read_freq_table(&input[pos..]).ok_or(SimError::Corrupt {
+        what: "rans frequency table",
+    })?;
     pos += table_len;
-    let (body_len, hdr) = varint::read_u64(&input[pos..])?;
+    let (body_len, hdr) = varint::read_u64(&input[pos..]).ok_or(SimError::Truncated {
+        what: "rans body length",
+    })?;
     pos += hdr;
-    let body = input.get(pos..pos + body_len as usize)?;
+    let body = input
+        .get(pos..pos.saturating_add(body_len as usize))
+        .ok_or(SimError::Truncated { what: "rans body" })?;
     if body.len() < 4 {
-        return None;
+        return Err(SimError::Truncated { what: "rans body" });
     }
     let mut cum = [0u32; 257];
     for i in 0..256 {
@@ -171,15 +185,17 @@ pub fn decode(input: &[u8]) -> Option<Vec<u8>> {
         let start = cum[sym as usize];
         state = f * (state >> SCALE_BITS) + slot - start;
         while state < RANS_L {
-            let b = *feed.next()?;
+            let b = *feed.next().ok_or(SimError::Truncated { what: "rans body" })?;
             state = (state << 8) | b as u32;
         }
         out.push(sym);
     }
     if state != RANS_L {
-        return None; // final state mismatch ⇒ corrupt stream
+        return Err(SimError::Corrupt {
+            what: "rans final state", // mismatch ⇒ corrupt stream
+        });
     }
-    Some(out)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -188,7 +204,7 @@ mod tests {
 
     fn round_trip(data: &[u8]) -> usize {
         let e = encode(data);
-        assert_eq!(decode(&e).as_deref(), Some(data), "round trip failed");
+        assert_eq!(decode(&e).as_deref(), Ok(data), "round trip failed");
         e.len()
     }
 
@@ -242,14 +258,14 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_is_none() {
+    fn truncated_stream_errors() {
         let e = encode(b"hello world hello world");
         for cut in 0..e.len().saturating_sub(1) {
-            // Must never panic; usually None, occasionally a short valid
+            // Must never panic; usually Err, occasionally a short valid
             // prefix is impossible because length is in the header.
             let _ = decode(&e[..cut]);
         }
-        assert!(decode(&e[..e.len() - 1]).is_none());
+        assert!(decode(&e[..e.len() - 1]).is_err());
     }
 
     #[test]

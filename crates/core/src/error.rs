@@ -1,0 +1,91 @@
+//! The shared error taxonomy.
+//!
+//! Every decoder and parser in the workspace that consumes
+//! possibly-hostile bytes (entropy coders, the mesh codec, capture
+//! parsers) classifies failures into the same small set of categories, so
+//! a malformed or truncated input surfaces as a typed `Err` end-to-end
+//! instead of a `panic!`/`expect` somewhere in the middle of a sweep.
+//!
+//! The taxonomy is deliberately coarse: callers rarely branch on *why* an
+//! input was bad, they branch on *whether* it was — but the category plus
+//! the `what` site string make a quarantined cell's report actionable.
+
+use std::fmt;
+
+/// Why an operation on untrusted or inconsistent data failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The input ended before the structure it claimed to contain.
+    Truncated {
+        /// What was being parsed (e.g. `"rans body"`).
+        what: &'static str,
+    },
+    /// The input is self-inconsistent or fails a structural checksum.
+    Corrupt {
+        /// What was being parsed.
+        what: &'static str,
+    },
+    /// The input parsed, but the decoded structure violates an invariant
+    /// (index out of range, value outside its lattice, ...).
+    Inconsistent {
+        /// Which invariant failed.
+        what: &'static str,
+    },
+    /// A claimed size exceeds the hard ceiling a decoder enforces to stay
+    /// memory-safe under hostile headers.
+    LimitExceeded {
+        /// What was being sized.
+        what: &'static str,
+        /// The ceiling that was exceeded.
+        limit: u64,
+    },
+    /// A configuration value is outside its supported range.
+    InvalidConfig {
+        /// Which parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Truncated { what } => write!(f, "truncated {what}"),
+            SimError::Corrupt { what } => write!(f, "corrupt {what}"),
+            SimError::Inconsistent { what } => write!(f, "inconsistent {what}"),
+            SimError::LimitExceeded { what, limit } => {
+                write!(f, "{what} exceeds limit of {limit}")
+            }
+            SimError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_site() {
+        let e = SimError::Truncated { what: "rans body" };
+        assert_eq!(e.to_string(), "truncated rans body");
+        let e = SimError::LimitExceeded {
+            what: "claimed length",
+            limit: 42,
+        };
+        assert_eq!(e.to_string(), "claimed length exceeds limit of 42");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SimError::Corrupt { what: "x" },
+            SimError::Corrupt { what: "x" }
+        );
+        assert_ne!(
+            SimError::Corrupt { what: "x" },
+            SimError::Inconsistent { what: "x" }
+        );
+    }
+}

@@ -5,10 +5,20 @@
 //! FIFO order. Determinism of the tie-break matters: two packets arriving at
 //! a queue "simultaneously" must drain in a reproducible order for runs to
 //! replay bit-exactly.
+//!
+//! When the [`crate::sanitizer`] is enabled the queue also monitors two
+//! invariants observe-only: popped timestamps never regress (virtual-time
+//! monotonicity) and occupancy stays under [`OCCUPANCY_BOUND`] (a runaway
+//! self-rescheduling loop shows up here long before it OOMs).
 
+use crate::sanitizer;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Occupancy ceiling the sanitizer checks against: no workload in the
+/// workspace legitimately keeps this many events pending at once.
+pub const OCCUPANCY_BOUND: usize = 1 << 22;
 
 /// An event of payload type `E` scheduled at a virtual instant.
 #[derive(Clone, Debug)]
@@ -50,6 +60,9 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
     now: SimTime,
+    /// One-shot flag so an occupancy breach reports once per queue, not
+    /// once per event of a multi-million-event storm.
+    occupancy_reported: bool,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -65,6 +78,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            occupancy_reported: false,
         }
     }
 
@@ -89,6 +103,17 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { at, seq, payload });
+        if !self.occupancy_reported && self.heap.len() > OCCUPANCY_BOUND {
+            self.occupancy_reported = true;
+            sanitizer::report(
+                "event/occupancy",
+                format!(
+                    "queue holds {} pending events (bound {OCCUPANCY_BOUND}) at {:?}",
+                    self.heap.len(),
+                    self.now
+                ),
+            );
+        }
     }
 
     /// Schedule `payload` `delay` after the current time.
@@ -100,6 +125,12 @@ impl<E> EventQueue<E> {
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         let ev = self.heap.pop()?;
+        sanitizer::check(ev.at >= self.now, "event/monotonic", || {
+            format!(
+                "popped event at {:?} behind the clock at {:?}",
+                ev.at, self.now
+            )
+        });
         self.now = ev.at;
         Some(ev)
     }

@@ -16,19 +16,28 @@
 //! * [`stats`] — streaming summary statistics, exact percentiles, and the
 //!   boxplot summaries used by the paper's figures.
 //! * [`series`] — time-series recording (e.g. throughput over a session).
-//! * [`par`] — deterministic parallel execution ([`par::par_map`]) and
-//!   collision-free per-cell seed derivation ([`par::derive_seed`]).
+//! * [`par`] — deterministic parallel execution ([`par::par_map`]),
+//!   collision-free per-cell seed derivation ([`par::derive_seed`]), and
+//!   the supervised engine ([`par::try_par_map`]): `catch_unwind` +
+//!   watchdog + retry-once + quarantine per cell.
+//! * [`error`] — the shared [`error::SimError`] taxonomy every decoder
+//!   and parser of hostile bytes returns.
+//! * [`sanitizer`] — opt-in runtime invariant monitor (`VISIONSIM_SANITIZE=1`,
+//!   always on in debug builds); violations become reports, not panics.
 
+pub mod error;
 pub mod event;
 pub mod par;
 pub mod rng;
+pub mod sanitizer;
 pub mod series;
 pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};
-pub use par::{derive_seed, par_map};
+pub use par::{derive_seed, par_map, try_par_map, Cell, CellError, CellFailure};
 pub use rng::SimRng;
 pub use series::{RateSeries, TimeSeries};
 pub use stats::{BoxplotSummary, Percentiles, StreamingStats};

@@ -8,6 +8,24 @@
 //! bit-identical to a sequential one as long as each item derives its own
 //! RNG stream via [`derive_seed`] instead of sharing a generator.
 //!
+//! # Supervision
+//!
+//! [`try_par_map`] is the supervised variant: every cell runs under
+//! `catch_unwind` with a wall-clock watchdog. A panicking or overrunning
+//! cell is retried once with the identical input (and therefore the
+//! identical derived seed — cells are pure functions of config and seed);
+//! if it fails again it is **quarantined**: the cell yields a structured
+//! [`CellError`] while every other cell runs to completion. [`par_map`]
+//! keeps its historical signature as a wrapper over the same engine that
+//! propagates the first quarantined error as a panic.
+//!
+//! The watchdog is detection, not preemption: Rust cannot cancel a thread,
+//! so a cell that overruns its budget is marked quarantined (its eventual
+//! result, if any, is discarded) and the pool's other workers keep
+//! draining cells — but a cell that literally never returns will still
+//! block the final join. True kill semantics require process isolation,
+//! which is out of scope for an in-process harness.
+//!
 //! Thread count resolution, highest priority first:
 //! 1. a programmatic override set with [`set_threads`] (used by the
 //!    determinism tests to compare single- and multi-threaded runs inside
@@ -15,17 +33,39 @@
 //! 2. the `VISIONSIM_THREADS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
 
 use crate::rng::splitmix64;
+use crate::sanitizer;
 
 /// Programmatic thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Serializes tests (and any other callers) that flip the process-global
+/// overrides in this module or [`crate::sanitizer`].
+static OVERRIDE_GUARD: Mutex<()> = Mutex::new(());
+
+/// Lock out other threads from toggling the process-global overrides.
+///
+/// [`set_threads`] and [`sanitizer::force`] mutate **process-global**
+/// state: under the default concurrent libtest runner, one test's
+/// override is visible to every other test in the binary. Tests that set
+/// either override (or that assert on behaviour the overrides change)
+/// must hold this guard for their whole body.
+pub fn override_guard() -> MutexGuard<'static, ()> {
+    OVERRIDE_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Force the worker count for subsequent [`par_map`] calls in this process
 /// (`None` restores env/hardware resolution). Takes precedence over
 /// `VISIONSIM_THREADS`.
+///
+/// The override is **process-global**, not scoped: concurrent tests in one
+/// binary race on it unless they serialize behind [`override_guard`].
 pub fn set_threads(n: Option<usize>) {
     THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
 }
@@ -46,6 +86,21 @@ pub fn threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// The per-cell wall-clock budget the watchdog enforces, from
+/// `VISIONSIM_CELL_TIMEOUT_SECS` (default 600 s — generous, because a
+/// cell is a whole experiment repetition, not one packet).
+pub fn cell_timeout() -> Duration {
+    static TIMEOUT: OnceLock<Duration> = OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        let secs = std::env::var("VISIONSIM_CELL_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(600);
+        Duration::from_secs(secs)
+    })
 }
 
 /// Derive a collision-free child seed for one experiment cell.
@@ -71,31 +126,193 @@ pub fn derive_seed(root: u64, label: &str, index: u64) -> u64 {
     splitmix64(&mut st)
 }
 
-/// Map `f` over `items` on a scoped thread pool, returning results in
-/// submission order.
+/// One supervised work item: the input plus the identity a failure report
+/// needs to be actionable.
+#[derive(Clone, Debug)]
+pub struct Cell<I> {
+    /// Human-readable cell label (e.g. `"figure6/users=4"`).
+    pub label: String,
+    /// The cell's derived seed (zero when seeding is not meaningful).
+    pub seed: u64,
+    /// The input handed to the map function.
+    pub input: I,
+}
+
+impl<I> Cell<I> {
+    /// Build a cell.
+    pub fn new(label: impl Into<String>, seed: u64, input: I) -> Self {
+        Cell {
+            label: label.into(),
+            seed,
+            input,
+        }
+    }
+}
+
+/// How a quarantined cell failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellFailure {
+    /// Both attempts panicked.
+    Panicked,
+    /// The cell overran its wall-clock budget.
+    TimedOut,
+}
+
+/// A quarantined cell: both the attempt and its retry failed.
+#[derive(Clone, Debug)]
+pub struct CellError {
+    /// The cell's label.
+    pub label: String,
+    /// The cell's derived seed — rerun `<binary> <seed>` to reproduce.
+    pub seed: u64,
+    /// Wall-clock spent in the failing attempt.
+    pub elapsed: Duration,
+    /// The panic payload (or a timeout description).
+    pub payload: String,
+    /// Panic vs watchdog timeout.
+    pub kind: CellFailure,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            CellFailure::Panicked => "panicked",
+            CellFailure::TimedOut => "timed out",
+        };
+        write!(
+            f,
+            "cell {} (seed {}) {} after {:.2}s: {}",
+            self.label,
+            self.seed,
+            kind,
+            self.elapsed.as_secs_f64(),
+            self.payload
+        )
+    }
+}
+
+impl std::error::Error for CellError {}
+
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One `catch_unwind`-wrapped attempt with the sanitizer context tagged.
+fn attempt<I, T>(cell: &Cell<I>, f: &(impl Fn(&Cell<I>) -> T + Sync)) -> Result<T, String> {
+    sanitizer::set_context(&cell.label, cell.seed);
+    let out = catch_unwind(AssertUnwindSafe(|| f(cell))).map_err(payload_string);
+    sanitizer::clear_context();
+    out
+}
+
+/// Run one supervised cell inline: `catch_unwind`, retried once on panic
+/// with the identical input/seed, quarantined on the second failure. This
+/// is the same supervision [`try_par_map`] applies per cell, minus the
+/// watchdog (a single inline cell cannot preempt itself).
+pub fn run_cell<I, T>(cell: &Cell<I>, f: impl Fn(&Cell<I>) -> T + Sync) -> Result<T, CellError> {
+    run_cell_inner(cell, &f, true)
+}
+
+fn run_cell_inner<I, T>(
+    cell: &Cell<I>,
+    f: &(impl Fn(&Cell<I>) -> T + Sync),
+    retry: bool,
+) -> Result<T, CellError> {
+    let start = Instant::now();
+    let outcome = match attempt(cell, f) {
+        Ok(t) => return Ok(t),
+        Err(first) if !retry => Err(first),
+        Err(_first) => attempt(cell, f),
+    };
+    outcome.map_err(|payload| CellError {
+        label: cell.label.clone(),
+        seed: cell.seed,
+        elapsed: start.elapsed(),
+        payload,
+        kind: CellFailure::Panicked,
+    })
+}
+
+/// Per-cell slot state shared between workers and the watchdog.
+enum Slot<T> {
+    Pending,
+    Done(T),
+    Failed(CellError),
+}
+
+/// Supervised parallel map: every cell runs under `catch_unwind` with a
+/// wall-clock watchdog, is retried once on failure with the identical
+/// input (hence the identical derived seed), and is quarantined into a
+/// [`CellError`] only if it fails twice — while every other cell runs to
+/// completion. Results arrive in submission order.
 ///
-/// Each item is claimed exactly once via an atomic cursor, computed, and
-/// written into its own slot, so scheduling order never affects the output.
-/// With one worker (or one item) the items are mapped inline with no
-/// threads spawned. A panic in any item propagates to the caller.
-pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+/// Uses the default [`cell_timeout`] budget; see [`try_par_map_with`] to
+/// set one explicitly.
+pub fn try_par_map<I, T, F>(cells: Vec<Cell<I>>, f: F) -> Vec<Result<T, CellError>>
 where
-    I: Send,
+    I: Send + Sync,
     T: Send,
-    F: Fn(I) -> T + Sync,
+    F: Fn(&Cell<I>) -> T + Sync,
 {
-    let n = items.len();
+    try_par_map_with(cells, cell_timeout(), f)
+}
+
+/// [`try_par_map`] with an explicit per-cell wall-clock budget.
+pub fn try_par_map_with<I, T, F>(
+    cells: Vec<Cell<I>>,
+    budget: Duration,
+    f: F,
+) -> Vec<Result<T, CellError>>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(&Cell<I>) -> T + Sync,
+{
+    supervise(cells, budget, true, f)
+}
+
+/// The supervised engine behind [`try_par_map`] and [`par_map`]. `retry`
+/// is off for [`par_map`], whose items are consumed by their first
+/// attempt and therefore cannot be replayed.
+fn supervise<I, T, F>(
+    cells: Vec<Cell<I>>,
+    budget: Duration,
+    retry: bool,
+    f: F,
+) -> Vec<Result<T, CellError>>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(&Cell<I>) -> T + Sync,
+{
+    let n = cells.len();
     let workers = threads().min(n).max(1);
     if workers == 1 {
-        return items.into_iter().map(f).collect();
+        // Inline path: identical supervision semantics minus the watchdog
+        // (one thread cannot watch itself without being preempted).
+        return cells.iter().map(|c| run_cell_inner(c, &f, retry)).collect();
     }
-    let queue: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let slots: Vec<Mutex<Slot<T>>> = (0..n).map(|_| Mutex::new(Slot::Pending)).collect();
+    // Start instant of the attempt currently running per cell (None when
+    // idle); the watchdog compares these against the budget.
+    let running: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    let f = &f;
-    let queue = &queue;
+    let done = AtomicBool::new(false);
+
+    let cells = &cells;
     let slots = &slots;
+    let running = &running;
     let cursor = &cursor;
+    let done = &done;
+    let f = &f;
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(move || loop {
@@ -103,23 +320,142 @@ where
                 if i >= n {
                     break;
                 }
-                let item = queue[i]
-                    .lock()
-                    .expect("queue slot poisoned")
-                    .take()
-                    .expect("item claimed twice");
-                let result = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                let cell = &cells[i];
+                let start = Instant::now();
+                *running[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(start);
+                let first = attempt(cell, f);
+                let outcome = match first {
+                    Ok(t) => Ok(t),
+                    Err(payload) if !retry => Err(CellError {
+                        label: cell.label.clone(),
+                        seed: cell.seed,
+                        elapsed: start.elapsed(),
+                        payload,
+                        kind: CellFailure::Panicked,
+                    }),
+                    Err(_) => {
+                        // Retry once with the identical input. Reset the
+                        // watchdog clock: the retry gets a fresh budget.
+                        *running[i].lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some(Instant::now());
+                        // If the watchdog already quarantined this cell,
+                        // don't burn time retrying a timed-out attempt.
+                        let quarantined = matches!(
+                            *slots[i].lock().unwrap_or_else(|e| e.into_inner()),
+                            Slot::Failed(_)
+                        );
+                        if quarantined {
+                            *running[i].lock().unwrap_or_else(|e| e.into_inner()) = None;
+                            continue;
+                        }
+                        attempt(cell, f).map_err(|payload| CellError {
+                            label: cell.label.clone(),
+                            seed: cell.seed,
+                            elapsed: start.elapsed(),
+                            payload,
+                            kind: CellFailure::Panicked,
+                        })
+                    }
+                };
+                *running[i].lock().unwrap_or_else(|e| e.into_inner()) = None;
+                let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+                // The watchdog may have quarantined the cell while it ran;
+                // a late result is discarded so reports stay consistent.
+                if matches!(*slot, Slot::Pending) {
+                    *slot = match outcome {
+                        Ok(t) => Slot::Done(t),
+                        Err(e) => Slot::Failed(e),
+                    };
+                }
             });
         }
+        // Watchdog: flags cells whose current attempt overran the budget.
+        scope.spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+                for i in 0..n {
+                    let started = *running[i].lock().unwrap_or_else(|e| e.into_inner());
+                    let Some(started) = started else { continue };
+                    let elapsed = started.elapsed();
+                    if elapsed <= budget {
+                        continue;
+                    }
+                    let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+                    if matches!(*slot, Slot::Pending) {
+                        *slot = Slot::Failed(CellError {
+                            label: cells[i].label.clone(),
+                            seed: cells[i].seed,
+                            elapsed,
+                            payload: format!(
+                                "watchdog: exceeded {:.2}s wall-clock budget",
+                                budget.as_secs_f64()
+                            ),
+                            kind: CellFailure::TimedOut,
+                        });
+                    }
+                }
+            }
+        });
+        // Wait for the workers (spawned first) by observing the cursor;
+        // the scope itself joins everything. Signal the watchdog to exit
+        // once every slot has resolved.
+        while slots.iter().any(|s| {
+            matches!(
+                *s.lock().unwrap_or_else(|e| e.into_inner()),
+                Slot::Pending
+            )
+        }) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        done.store(true, Ordering::Relaxed);
     });
+
     slots
         .iter()
         .map(|s| {
-            s.lock()
-                .expect("result slot poisoned")
-                .take()
-                .expect("worker exited without writing its slot")
+            let mut slot = s.lock().unwrap_or_else(|e| e.into_inner());
+            match std::mem::replace(&mut *slot, Slot::Pending) {
+                Slot::Done(t) => Ok(t),
+                Slot::Failed(e) => Err(e),
+                Slot::Pending => unreachable!("worker exited without resolving its slot"),
+            }
+        })
+        .collect()
+}
+
+/// Map `f` over `items` on a scoped thread pool, returning results in
+/// submission order.
+///
+/// A thin wrapper over the supervised engine: each item runs under the
+/// same `catch_unwind` + watchdog machinery as [`try_par_map`] (without
+/// the retry — the item is consumed by its first attempt), every other
+/// item still runs to completion, and the first quarantined error (in
+/// submission order) is then propagated as a panic.
+pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let cells: Vec<Cell<Mutex<Option<I>>>> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| Cell::new(format!("par_map/{i}"), 0, Mutex::new(Some(item))))
+        .collect();
+    let results = supervise(cells, cell_timeout(), false, |cell| {
+        let item = cell
+            .input
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("par_map item consumed by a failed first attempt");
+        f(item)
+    });
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         })
         .collect()
 }
@@ -137,6 +473,9 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
+        // Serialize against tests that flip the process-global thread
+        // override (`set_threads` has no scoping; see `override_guard`).
+        let _g = override_guard();
         let items: Vec<u64> = (0..64).collect();
         let work = |i: u64| {
             let mut rng = crate::rng::SimRng::seed_from_u64(derive_seed(7, "test", i));
@@ -174,10 +513,129 @@ mod tests {
 
     #[test]
     fn threads_env_is_respected_by_resolution_order() {
+        let _g = override_guard();
         // The programmatic override wins over everything.
         set_threads(Some(3));
         assert_eq!(threads(), 3);
         set_threads(None);
         assert!(threads() >= 1);
+    }
+
+    fn supervised_cells(n: u64) -> Vec<Cell<u64>> {
+        (0..n)
+            .map(|i| Cell::new(format!("t/{i}"), derive_seed(9, "t", i), i))
+            .collect()
+    }
+
+    #[test]
+    fn panicking_cell_is_quarantined_while_others_complete() {
+        let _g = override_guard();
+        set_threads(Some(4));
+        let out = try_par_map(supervised_cells(12), |c| {
+            if c.input == 5 {
+                panic!("deliberate failure in cell five");
+            }
+            c.input * 2
+        });
+        set_threads(None);
+        assert_eq!(out.len(), 12);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.label, "t/5");
+                assert_eq!(e.seed, derive_seed(9, "t", 5));
+                assert_eq!(e.kind, CellFailure::Panicked);
+                assert!(e.payload.contains("deliberate failure"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u64) * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_panic_is_retried_with_same_cell() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let out = try_par_map(supervised_cells(1), |c| {
+            if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            c.seed
+        });
+        assert_eq!(out.len(), 1);
+        // The retry ran the identical cell: same derived seed comes back.
+        assert_eq!(*out[0].as_ref().unwrap(), derive_seed(9, "t", 0));
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn watchdog_quarantines_an_overrunning_cell() {
+        let _g = override_guard();
+        set_threads(Some(4));
+        let out = try_par_map_with(
+            supervised_cells(6),
+            Duration::from_millis(40),
+            |c| {
+                if c.input == 2 {
+                    // Overrun the budget; the watchdog flags it, the late
+                    // result is discarded, siblings are unaffected.
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                c.input
+            },
+        );
+        set_threads(None);
+        let e = out[2].as_ref().unwrap_err();
+        assert_eq!(e.kind, CellFailure::TimedOut);
+        assert!(e.payload.contains("watchdog"));
+        for (i, r) in out.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*r.as_ref().unwrap(), i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn inline_path_supervises_too() {
+        let _g = override_guard();
+        set_threads(Some(1));
+        let out = try_par_map(supervised_cells(3), |c| {
+            if c.input == 1 {
+                panic!("inline failure");
+            }
+            c.input
+        });
+        set_threads(None);
+        assert!(out[0].is_ok() && out[2].is_ok());
+        assert!(out[1].as_ref().unwrap_err().payload.contains("inline failure"));
+    }
+
+    #[test]
+    fn par_map_propagates_first_quarantined_error() {
+        let _g = override_guard();
+        set_threads(Some(2));
+        let r = std::panic::catch_unwind(|| {
+            par_map(vec![0u64, 1, 2, 3], |i| {
+                if i >= 2 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        set_threads(None);
+        let msg = payload_string(r.unwrap_err());
+        // First in submission order, regardless of scheduling.
+        assert!(msg.contains("boom at 2"), "got: {msg}");
+        assert!(msg.contains("par_map/2"), "got: {msg}");
+    }
+
+    #[test]
+    fn run_cell_reports_label_seed_and_payload() {
+        let cell = Cell::new("solo", 1234, ());
+        let err = run_cell(&cell, |_| -> () { panic!("solo cell failure") }).unwrap_err();
+        assert_eq!(err.label, "solo");
+        assert_eq!(err.seed, 1234);
+        assert!(err.payload.contains("solo cell failure"));
+        assert!(err.to_string().contains("seed 1234"));
     }
 }

@@ -8,6 +8,7 @@
 //!   back as a throughput series, which is how the paper's AP-side Wireshark
 //!   captures are reduced to Mbps figures.
 
+use crate::sanitizer;
 use crate::stats::Percentiles;
 use crate::time::{SimDuration, SimTime};
 use crate::units::{ByteSize, DataRate};
@@ -32,6 +33,7 @@ impl TimeSeries {
         if let Some(&(last, _)) = self.points.last() {
             assert!(at >= last, "time series must be recorded in order");
         }
+        sanitizer::check_finite("series/nonfinite", value);
         self.points.push((at, value));
     }
 

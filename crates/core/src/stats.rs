@@ -10,6 +10,7 @@
 //!   numpy's default, so figures line up with the usual tooling).
 //! * [`BoxplotSummary`] — the five-number-plus-mean summary the figures draw.
 
+use crate::sanitizer;
 use std::fmt;
 
 /// Streaming mean/variance via Welford's algorithm, plus min/max.
@@ -34,8 +35,12 @@ impl StreamingStats {
         }
     }
 
-    /// Add one observation.
+    /// Add one observation. A NaN/Inf observation is accepted (it poisons
+    /// the accumulator exactly as it always did — the sanitizer is
+    /// observe-only) but recorded as a violation when the
+    /// [`crate::sanitizer`] is enabled.
     pub fn push(&mut self, x: f64) {
+        sanitizer::check_finite("stats/streaming-nonfinite", x);
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -146,9 +151,21 @@ impl Percentiles {
     }
 
     /// Add one observation. Non-finite values are rejected (they would
-    /// poison the sort order silently).
+    /// poison the sort order silently): with the [`crate::sanitizer`]
+    /// enabled the rejection is a violation report and the sample is
+    /// dropped; without it, a panic (the historical behaviour — a sweep
+    /// with no supervision has nothing to collect a report).
     pub fn push(&mut self, x: f64) {
-        assert!(x.is_finite(), "non-finite sample {x}");
+        if !x.is_finite() {
+            if sanitizer::enabled() {
+                sanitizer::report(
+                    "stats/percentile-nonfinite",
+                    format!("rejected non-finite sample {x}"),
+                );
+                return;
+            }
+            panic!("non-finite sample {x}");
+        }
         self.samples.push(x);
         self.sorted = false;
     }
@@ -165,8 +182,10 @@ impl Percentiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            // total_cmp so a NaN smuggled in via `from_samples` cannot
+            // panic the sort (it sorts last and is caught upstream by the
+            // sanitizer's finite guards).
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
     }
@@ -332,9 +351,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-finite")]
-    fn rejects_nan_samples() {
-        Percentiles::new().push(f64::NAN);
+    fn nonfinite_samples_are_reported_and_dropped_under_sanitizer() {
+        let _g = crate::par::override_guard();
+        crate::sanitizer::force(Some(true));
+        crate::sanitizer::reset();
+        let mut p = Percentiles::new();
+        p.push(f64::NAN);
+        p.push(1.0);
+        assert_eq!(p.count(), 1, "NaN must be rejected, not retained");
+        assert!(crate::sanitizer::take()
+            .iter()
+            .any(|v| v.site == "stats/percentile-nonfinite"));
+        crate::sanitizer::force(None);
+        crate::sanitizer::reset();
+    }
+
+    #[test]
+    fn rejects_nan_samples_by_panic_without_sanitizer() {
+        let _g = crate::par::override_guard();
+        crate::sanitizer::force(Some(false));
+        let r = std::panic::catch_unwind(|| Percentiles::new().push(f64::NAN));
+        crate::sanitizer::force(None);
+        assert!(r.is_err(), "unsanitized push must keep its panic contract");
     }
 
     #[test]

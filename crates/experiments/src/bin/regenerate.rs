@@ -1,120 +1,71 @@
-//! Regenerate every table and figure of the paper in one run.
+//! Regenerate every table and figure of the paper in one supervised run.
 //!
 //! ```sh
-//! cargo run --release -p visionsim-experiments --bin regenerate
+//! cargo run --release -p visionsim-experiments --bin regenerate [seed] [--resume]
 //! ```
 //!
-//! Each artifact reports its wall-clock time, and the run ends with a
-//! sequential-vs-parallel speedup line for the Figure 6 sweep (the output
-//! itself is bit-identical at any thread count; see `core::par`).
+//! Each artifact runs in a panic-isolated cell and lands in
+//! `artifacts/<name>.txt` (atomic rename) with a checksummed
+//! `manifest.json` beside it. A panicking or hung artifact is quarantined
+//! — the rest still complete — and the process exits non-zero with a
+//! summary naming the failed cells and their seeds. `--resume` skips
+//! artifacts already on disk whose checksum verifies against a same-seed
+//! manifest, so a crashed or partially-failed run picks up where it left
+//! off.
+//!
+//! Artifact files are byte-identical at any thread count and with the
+//! sanitizer on or off; wall-clock timings go only to stdout and the
+//! manifest. The run ends with a sequential-vs-parallel speedup line for
+//! the Figure 6 sweep (stdout only, see `core::par`).
 
+use std::process::ExitCode;
 use std::time::Instant;
-use visionsim_experiments::*;
+use visionsim_experiments::harness::{self, HarnessConfig};
+use visionsim_experiments::figure6;
 
-/// Run one artifact, print its output, and report the wall-clock spent.
-fn timed<T: std::fmt::Display>(label: &str, f: impl FnOnce() -> T) -> T {
-    let start = Instant::now();
-    let out = f();
-    println!("{out}");
-    println!("[{label}: {:.2}s]\n", start.elapsed().as_secs_f64());
-    out
-}
+fn main() -> ExitCode {
+    let mut seed = 2024u64;
+    let mut resume = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            other => {
+                if let Ok(s) = other.parse() {
+                    seed = s;
+                } else {
+                    eprintln!("usage: regenerate [seed] [--resume]");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
 
-fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2024u64);
+    let mut cfg = HarnessConfig::new(seed);
+    cfg.resume = resume;
     let wall = Instant::now();
     println!(
-        "=== visionsim: regenerating all paper artifacts (seed {seed}, {} threads) ===\n",
-        visionsim_core::par::threads()
+        "=== visionsim: regenerating all paper artifacts (seed {seed}, {} threads{}) ===\n",
+        visionsim_core::par::threads(),
+        if resume { ", resume" } else { "" }
     );
 
-    println!("--- Table 1 ---");
-    let start = Instant::now();
-    let t1 = table1::run(10, seed);
-    println!("{t1}");
-    println!("max σ = {:.2} ms (paper: <7 ms)", t1.max_std());
-    println!("[table1: {:.2}s]\n", start.elapsed().as_secs_f64());
+    let outcomes = harness::run_all(&cfg);
+    let (summary, ok) = harness::summarize(&outcomes);
+    print!("{summary}");
 
-    println!("--- Figure 4 ---");
-    timed("figure4", || figure4::run(3, 30, seed));
-
-    println!("--- §4.3: What is being delivered? ---");
-    timed("mesh_streaming", || mesh_streaming::run(6, seed));
-    timed("display_latency", || display_latency::run(500, seed));
-    timed("keypoint_rate", || keypoint_rate::run(2_000, seed));
-    timed("rate_adaptation", || rate_adaptation::run(15, seed));
-
-    println!("--- Figure 5 ---");
-    timed("figure5", || figure5::run(500, seed));
-
-    println!("--- §4.1 server discovery (methodology) ---");
-    timed("discovery", || discovery::run(24, 5, seed));
-
-    println!("--- §4.1 protocols ---");
-    timed("protocols", || protocols::run(10, seed));
-
-    println!("--- Motion-to-photon vs placement ---");
-    timed("motion_to_photon", || motion_to_photon::run(15, seed));
-
-    println!("--- Figure 6 ---");
-    timed("figure6", || figure6::run(30, seed));
-
-    println!("--- Chaos drill (resilience) ---");
-    let drill = timed("resilience", || resilience::run(14, seed));
-    println!(
-        "{}/{} cells dipped and recovered\n",
-        drill.recovered_cells(),
-        drill.cells.len()
-    );
-
-    println!("--- Ablations ---");
-    let start = Instant::now();
-    let coder = ablations::entropy_coder(200_000, seed);
-    println!(
-        "entropy coder on {} B residuals: rANS {} B vs LZ+range {} B",
-        coder.input_len, coder.rans_len, coder.lzma_len
-    );
-    let delta = ablations::delta_coding(900, seed);
-    println!(
-        "semantic coding: absolute {:.2} Mbps vs delta {:.2} Mbps ({:.1}x for loss resilience)",
-        delta.absolute_mbps,
-        delta.delta_mbps,
-        delta.absolute_bytes / delta.delta_bytes
-    );
-    for p in ablations::foveation_granularity(2_000, seed) {
-        println!(
-            "foveation ±{:>4.1}° → {:>7.0} mean triangles/frame",
-            p.fovea_deg, p.mean_triangles
-        );
+    let violations = visionsim_core::sanitizer::total();
+    if violations > 0 {
+        println!("\nsanitizer: {violations} invariant violation(s) recorded:");
+        for v in visionsim_core::sanitizer::take().iter().take(20) {
+            println!("  {v}");
+        }
     }
-    let placement = ablations::placement();
-    println!(
-        "placement: initiator-near worst RTT {:.0} ms vs geo-distributed {:.0} ms",
-        placement.initiator_worst_rtt_ms, placement.geo_worst_rtt_ms
-    );
-    let culling = ablations::semantic_culling(5_000, seed);
-    println!(
-        "visibility-aware delivery: {:.0}% uplink saving available",
-        culling.saving_percent
-    );
-    println!("[ablations: {:.2}s]\n", start.elapsed().as_secs_f64());
-
-    println!("--- Extensions (beyond the measured system) ---");
-    let start = Instant::now();
-    println!("{}", extensions::format_fec(&extensions::fec_under_loss(500, 2_000, seed)));
-    println!(
-        "{}",
-        extensions::format_beyond_five(&extensions::beyond_five_users(15, seed))
-    );
-    println!("[extensions: {:.2}s]\n", start.elapsed().as_secs_f64());
 
     let par_total = wall.elapsed().as_secs_f64();
 
     // Speedup check: re-run the Figure 6 sweep pinned to one worker and
-    // compare against the parallel wall-clock just measured.
+    // compare against the parallel wall-clock just measured. Stdout-only;
+    // artifacts on disk are untouched by this epilogue.
     let start = Instant::now();
     let fig_par = figure6::run(30, seed);
     let par_secs = start.elapsed().as_secs_f64();
@@ -133,4 +84,10 @@ fn main() {
          ({:.1}x speedup, outputs bit-identical) ===",
         seq_secs / par_secs.max(1e-9)
     );
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -25,6 +25,7 @@
 
 pub mod ablations;
 pub mod discovery;
+pub mod harness;
 pub mod display_latency;
 pub mod extensions;
 pub mod figure4;

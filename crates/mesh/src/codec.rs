@@ -12,6 +12,7 @@
 
 use crate::geometry::{TriangleMesh, Vec3};
 use visionsim_compress::{rans, varint};
+use visionsim_core::SimError;
 
 /// Codec parameters.
 #[derive(Clone, Copy, Debug)]
@@ -28,29 +29,6 @@ impl Default for MeshCodecConfig {
         }
     }
 }
-
-/// Errors from [`decode_mesh`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum MeshCodecError {
-    /// Header malformed or truncated.
-    BadHeader,
-    /// Entropy-coded body failed to decode.
-    BadBody,
-    /// Decoded structure is inconsistent (index out of range etc.).
-    Inconsistent,
-}
-
-impl std::fmt::Display for MeshCodecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MeshCodecError::BadHeader => write!(f, "malformed mesh header"),
-            MeshCodecError::BadBody => write!(f, "corrupt mesh body"),
-            MeshCodecError::Inconsistent => write!(f, "inconsistent mesh data"),
-        }
-    }
-}
-
-impl std::error::Error for MeshCodecError {}
 
 fn write_f32(out: &mut Vec<u8>, v: f32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -116,46 +94,55 @@ pub fn encode_mesh(mesh: &TriangleMesh, config: &MeshCodecConfig) -> Vec<u8> {
     out
 }
 
-/// Decode a mesh produced by [`encode_mesh`].
-pub fn decode_mesh(bytes: &[u8]) -> Result<TriangleMesh, MeshCodecError> {
+const HDR: SimError = SimError::Truncated {
+    what: "mesh header",
+};
+
+/// Decode a mesh produced by [`encode_mesh`]. Errors use the shared
+/// [`SimError`] taxonomy; failures from the rANS layer propagate as-is.
+pub fn decode_mesh(bytes: &[u8]) -> Result<TriangleMesh, SimError> {
     let mut pos = 0usize;
-    let (nv, n) = varint::read_u64(&bytes[pos..]).ok_or(MeshCodecError::BadHeader)?;
+    let (nv, n) = varint::read_u64(&bytes[pos..]).ok_or(HDR)?;
     pos += n;
-    let (nt, n) = varint::read_u64(&bytes[pos..]).ok_or(MeshCodecError::BadHeader)?;
+    let (nt, n) = varint::read_u64(&bytes[pos..]).ok_or(HDR)?;
     pos += n;
-    let qbits = *bytes.get(pos).ok_or(MeshCodecError::BadHeader)? as u32;
+    let qbits = *bytes.get(pos).ok_or(HDR)? as u32;
     pos += 1;
     if !(4..=16).contains(&qbits) {
-        return Err(MeshCodecError::BadHeader);
+        return Err(SimError::Corrupt {
+            what: "mesh quantization bits",
+        });
     }
     if nv == 0 {
         return Ok(TriangleMesh::empty());
     }
     let min = Vec3::new(
-        read_f32(bytes, &mut pos).ok_or(MeshCodecError::BadHeader)?,
-        read_f32(bytes, &mut pos).ok_or(MeshCodecError::BadHeader)?,
-        read_f32(bytes, &mut pos).ok_or(MeshCodecError::BadHeader)?,
+        read_f32(bytes, &mut pos).ok_or(HDR)?,
+        read_f32(bytes, &mut pos).ok_or(HDR)?,
+        read_f32(bytes, &mut pos).ok_or(HDR)?,
     );
     let max = Vec3::new(
-        read_f32(bytes, &mut pos).ok_or(MeshCodecError::BadHeader)?,
-        read_f32(bytes, &mut pos).ok_or(MeshCodecError::BadHeader)?,
-        read_f32(bytes, &mut pos).ok_or(MeshCodecError::BadHeader)?,
+        read_f32(bytes, &mut pos).ok_or(HDR)?,
+        read_f32(bytes, &mut pos).ok_or(HDR)?,
+        read_f32(bytes, &mut pos).ok_or(HDR)?,
     );
-    let read_stream = |pos: &mut usize| -> Result<Vec<u8>, MeshCodecError> {
-        let (len, n) = varint::read_u64(&bytes[*pos..]).ok_or(MeshCodecError::BadHeader)?;
+    let read_stream = |pos: &mut usize| -> Result<Vec<u8>, SimError> {
+        let (len, n) = varint::read_u64(&bytes[*pos..]).ok_or(HDR)?;
         *pos += n;
         let packed = bytes
-            .get(*pos..*pos + len as usize)
-            .ok_or(MeshCodecError::BadHeader)?;
+            .get(*pos..pos.saturating_add(len as usize))
+            .ok_or(HDR)?;
         *pos += len as usize;
-        rans::decode(packed).ok_or(MeshCodecError::BadBody)
+        rans::decode(packed)
     };
     let pos_stream = read_stream(&mut pos)?;
     let conn_stream = read_stream(&mut pos)?;
     // Each vertex needs ≥3 varint bytes in the position stream and each
     // triangle ≥3 in the connectivity stream; larger claims are hostile.
     if nv as usize > pos_stream.len() || nt as usize > conn_stream.len() {
-        return Err(MeshCodecError::Inconsistent);
+        return Err(SimError::Inconsistent {
+            what: "mesh element count claim",
+        });
     }
 
     let levels = (1u32 << qbits) - 1;
@@ -168,12 +155,15 @@ pub fn decode_mesh(bytes: &[u8]) -> Result<TriangleMesh, MeshCodecError> {
     for _ in 0..nv {
         let mut q = [0i64; 3];
         for a in 0..3 {
-            let (d, n) =
-                varint::read_i64(&pos_stream[cursor..]).ok_or(MeshCodecError::BadBody)?;
+            let (d, n) = varint::read_i64(&pos_stream[cursor..]).ok_or(SimError::Truncated {
+                what: "mesh position stream",
+            })?;
             cursor += n;
             q[a] = prev[a] + d;
             if q[a] < 0 || q[a] > levels as i64 {
-                return Err(MeshCodecError::Inconsistent);
+                return Err(SimError::Inconsistent {
+                    what: "mesh quantized position",
+                });
             }
         }
         prev = q;
@@ -189,12 +179,15 @@ pub fn decode_mesh(bytes: &[u8]) -> Result<TriangleMesh, MeshCodecError> {
     for _ in 0..nt {
         let mut t = [0u32; 3];
         for slot in &mut t {
-            let (d, n) =
-                varint::read_i64(&conn_stream[cursor..]).ok_or(MeshCodecError::BadBody)?;
+            let (d, n) = varint::read_i64(&conn_stream[cursor..]).ok_or(SimError::Truncated {
+                what: "mesh connectivity stream",
+            })?;
             cursor += n;
             prev_idx += d;
             if prev_idx < 0 || prev_idx >= nv as i64 {
-                return Err(MeshCodecError::Inconsistent);
+                return Err(SimError::Inconsistent {
+                    what: "mesh triangle index",
+                });
             }
             *slot = prev_idx as u32;
         }

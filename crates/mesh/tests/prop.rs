@@ -73,6 +73,58 @@ fn decode_never_panics() {
     }
 }
 
+/// Truncating a valid stream at any byte yields `Err`, never a panic.
+#[test]
+fn decode_truncation_errors_cleanly() {
+    for i in 0..CASES {
+        let mut rng = case_rng("decode_truncate", i);
+        let enc = encode_mesh(&arb_mesh(&mut rng), &MeshCodecConfig::default());
+        for cut in 0..enc.len() {
+            assert!(decode_mesh(&enc[..cut]).is_err(), "cut {cut} decoded (case {i})");
+        }
+    }
+}
+
+/// Bit flips anywhere in a valid stream must never panic; they error or
+/// decode to a different (still structurally valid) mesh.
+#[test]
+fn decode_bit_flips_never_panic() {
+    for i in 0..CASES {
+        let mut rng = case_rng("decode_bitflip", i);
+        let mesh = arb_mesh(&mut rng);
+        let enc = encode_mesh(&mesh, &MeshCodecConfig::default());
+        for _ in 0..16 {
+            let mut damaged = enc.clone();
+            let pos = rng.index(damaged.len());
+            damaged[pos] ^= 1 << rng.uniform_u64(0, 7);
+            if let Ok(d) = decode_mesh(&damaged) {
+                assert!(
+                    d.triangles.iter().flatten().all(|&v| (v as usize) < d.vertex_count()),
+                    "bit flip produced out-of-range indices (case {i})"
+                );
+            }
+        }
+    }
+}
+
+/// A header lying about element counts (claiming far more vertices or
+/// triangles than the body can hold) errors without huge allocation.
+#[test]
+fn decode_length_lying_header_errors() {
+    for i in 0..CASES {
+        let mut rng = case_rng("decode_lying", i);
+        let enc = encode_mesh(&arb_mesh(&mut rng), &MeshCodecConfig::default());
+        let mut lying = Vec::new();
+        // Rebuild the header with absurd counts, keep the rest verbatim.
+        visionsim_compress::varint::write_u64(&mut lying, u64::MAX / 8);
+        visionsim_compress::varint::write_u64(&mut lying, u64::MAX / 8);
+        let (_, a) = visionsim_compress::varint::read_u64(&enc).expect("own header");
+        let (_, b) = visionsim_compress::varint::read_u64(&enc[a..]).expect("own header");
+        lying.extend_from_slice(&enc[a + b..]);
+        assert!(decode_mesh(&lying).is_err(), "lying header accepted (case {i})");
+    }
+}
+
 /// Clustering never increases counts and keeps indices valid.
 #[test]
 fn clustering_shrinks_and_stays_valid() {

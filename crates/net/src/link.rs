@@ -80,6 +80,17 @@ pub struct LinkState {
 }
 
 /// Per-link counters.
+///
+/// The sanitizer's `net/conservation` check relies on two identities that
+/// hold at every instant once a packet is accepted:
+///
+/// ```text
+/// sent + duplicated == exited + in_flight
+/// bytes + dup_bytes == exited_bytes + in_flight_bytes
+/// ```
+///
+/// i.e. every copy placed on the wire is either still propagating or has
+/// popped out at the tail — bytes are conserved per link.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LinkStats {
     /// Packets accepted onto the link.
@@ -92,6 +103,25 @@ pub struct LinkStats {
     pub duplicated: u64,
     /// Total payload+encapsulation bytes accepted.
     pub bytes: u64,
+    /// Extra bytes emitted by the duplication impairment.
+    pub dup_bytes: u64,
+    /// Copies that finished traversing the link (reached its tail node).
+    pub exited: u64,
+    /// Bytes that finished traversing the link.
+    pub exited_bytes: u64,
+    /// Copies currently on the wire (accepted, not yet exited).
+    pub in_flight: u64,
+    /// Bytes currently on the wire.
+    pub in_flight_bytes: u64,
+}
+
+impl LinkStats {
+    /// True when the per-link conservation identities hold (see the type
+    /// docs). Checked by the sanitizer at `net/conservation`.
+    pub fn conserved(&self) -> bool {
+        self.sent + self.duplicated == self.exited + self.in_flight
+            && self.bytes + self.dup_bytes == self.exited_bytes + self.in_flight_bytes
+    }
 }
 
 impl LinkState {

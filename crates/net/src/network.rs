@@ -13,6 +13,7 @@ use crate::packet::{Packet, PortPair};
 use crate::tap::{Tap, TapDirection, TapId, TapRecord};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use visionsim_core::event::EventQueue;
+use visionsim_core::sanitizer;
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_geo::coords::GeoPoint;
@@ -330,6 +331,8 @@ impl Network {
                 NetemVerdict::Deliver { delay, corrupt } => {
                     link.stats.sent += 1;
                     link.stats.bytes += size.as_bytes();
+                    link.stats.in_flight += 1;
+                    link.stats.in_flight_bytes += size.as_bytes();
                     (serialized + link.config.delay + delay, None, corrupt)
                 }
                 NetemVerdict::Duplicate {
@@ -340,6 +343,10 @@ impl Network {
                     link.stats.sent += 1;
                     link.stats.duplicated += 1;
                     link.stats.bytes += size.as_bytes();
+                    link.stats.dup_bytes += size.as_bytes();
+                    // Both copies are on the wire until their exits fire.
+                    link.stats.in_flight += 2;
+                    link.stats.in_flight_bytes += 2 * size.as_bytes();
                     let base = serialized + link.config.delay;
                     (base + delay, Some(base + dup_delay), corrupt)
                 }
@@ -380,6 +387,13 @@ impl Network {
                     route,
                     hop,
                 } => {
+                    {
+                        let stats = &mut self.links[route[hop].0].stats;
+                        stats.exited += 1;
+                        stats.exited_bytes += packet.wire_size().as_bytes();
+                        stats.in_flight -= 1;
+                        stats.in_flight_bytes -= packet.wire_size().as_bytes();
+                    }
                     let node = self.links[route[hop].0].to;
                     let at = ev.at;
                     if hop + 1 == route.len() {
@@ -395,6 +409,29 @@ impl Network {
         // Advance the clock even if idle.
         if self.queue.now() < until {
             self.queue.run_until(until, |_, _, _| {});
+        }
+        // Per-link byte conservation: every accepted copy is either still
+        // on the wire or has exited at the tail node (observe-only).
+        if sanitizer::enabled() {
+            for (i, link) in self.links.iter().enumerate() {
+                let s = link.stats;
+                sanitizer::check(s.conserved(), "net/conservation", || {
+                    format!(
+                        "link {i} ({}→{}): sent={} duplicated={} exited={} in_flight={} \
+                         bytes={} dup_bytes={} exited_bytes={} in_flight_bytes={}",
+                        link.from,
+                        link.to,
+                        s.sent,
+                        s.duplicated,
+                        s.exited,
+                        s.in_flight,
+                        s.bytes,
+                        s.dup_bytes,
+                        s.exited_bytes,
+                        s.in_flight_bytes
+                    )
+                });
+            }
         }
     }
 
@@ -551,6 +588,32 @@ mod tests {
         net.send(a, b, PortPair::new(1, 2), vec![0u8; 100]).unwrap();
         net.run_until(SimTime::from_secs(1));
         assert!(net.poll_delivered(b)[0].packet.corrupted);
+    }
+
+    #[test]
+    fn link_stats_conserve_bytes_under_duplication_and_loss() {
+        let _g = visionsim_core::par::override_guard();
+        sanitizer::force(Some(true));
+        sanitizer::reset();
+        let (mut net, a, b) = two_node_net(5);
+        net.netem_mut(LinkId(0)).loss = 0.3;
+        net.netem_mut(LinkId(0)).duplicate = 0.3;
+        for _ in 0..200 {
+            net.send(a, b, PortPair::new(1, 2), vec![0u8; 100]);
+        }
+        net.run_until(SimTime::from_secs(2));
+        let s = net.link_stats(LinkId(0));
+        assert!(s.conserved(), "conservation identity broken: {s:?}");
+        assert_eq!(s.in_flight, 0, "everything should have drained");
+        assert!(s.duplicated > 0, "duplication never fired at 30%");
+        assert!(
+            sanitizer::take()
+                .iter()
+                .all(|v| v.site != "net/conservation"),
+            "healthy run must not report conservation violations"
+        );
+        sanitizer::force(None);
+        sanitizer::reset();
     }
 
     #[test]

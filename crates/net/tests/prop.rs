@@ -228,6 +228,9 @@ fn fault_plan_replay_identical_across_threads() {
     }
 
     let idxs: Vec<u64> = (0..16).collect();
+    // `set_threads` is process-global; hold the shared override guard so
+    // concurrent tests in this binary cannot race the thread count.
+    let _guard = visionsim_core::par::override_guard();
     set_threads(Some(1));
     let seq: Vec<String> = par_map(idxs.clone(), replay_digest);
     set_threads(Some(4));

@@ -22,6 +22,9 @@ fn artifacts(seed: u64) -> String {
 
 #[test]
 fn parallel_output_is_byte_identical_to_sequential() {
+    // `set_threads` is process-global; serialize against any other test
+    // in this binary that flips it.
+    let _guard = par::override_guard();
     for seed in [2024u64, 7] {
         par::set_threads(Some(1));
         let sequential = artifacts(seed);
