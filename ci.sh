@@ -25,6 +25,22 @@ echo "== sanitizer explicitly on and off =="
 VISIONSIM_SANITIZE=1 cargo test -q -p visionsim-core -p visionsim-net -p visionsim-compress -p visionsim-mesh
 VISIONSIM_SANITIZE=0 cargo test -q -p visionsim-core -p visionsim-net
 
+echo "== allocation gate: sanitizer on and off =="
+# The counting-allocator budgets must hold in both modes — the sanitizer's
+# own bookkeeping is not allowed to leak allocations into the datapath.
+VISIONSIM_SANITIZE=1 cargo test -q --release --test alloc_gate
+VISIONSIM_SANITIZE=0 cargo test -q --release --test alloc_gate
+
+echo "== packet_path bench smoke =="
+# Quick pass (few samples) to catch bit-rot in the bench harness and gross
+# datapath regressions; results go to a scratch file so the committed
+# BENCH.json numbers (full 10-sample runs) are not overwritten.
+BENCHTMP=$(mktemp)
+VISIONSIM_BENCH_SAMPLES=3 VISIONSIM_BENCH_JSON="$BENCHTMP" \
+  cargo bench -p visionsim-bench --bench packet_path
+grep -q '"packet_path/hops"' "$BENCHTMP" || { echo "bench smoke wrote no hops record" >&2; exit 1; }
+rm -f "$BENCHTMP"
+
 echo "== supervised regenerate: quarantine + resume smoke =="
 ARTDIR=$(mktemp -d)
 # An injected panic must quarantine one artifact, let the rest finish,

@@ -27,7 +27,94 @@
 //! per-iteration min / mean / max are reported (min is the headline number:
 //! it is the least noise-contaminated statistic on a shared machine).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One measured benchmark, in the shape `BENCH.json` records.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full benchmark name, `group/function[/param]`.
+    pub name: String,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Mean over samples, ns per iteration.
+    pub mean_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Units processed per second at the min (headline) time, with the
+    /// unit name — `("bytes", x)` or `("elements", x)` — when the group
+    /// declared a throughput.
+    pub throughput: Option<(&'static str, f64)>,
+}
+
+/// Records accumulated by every `bench_function` call in this process,
+/// flushed to `BENCH.json` by [`criterion_main!`] via [`flush_json`].
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Where the machine-readable results land: `$VISIONSIM_BENCH_JSON`, or
+/// `BENCH.json` at the workspace root.
+pub fn bench_json_path() -> std::path::PathBuf {
+    match std::env::var_os("VISIONSIM_BENCH_JSON") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH.json"),
+    }
+}
+
+fn record_line(r: &BenchRecord) -> String {
+    let tp = match r.throughput {
+        Some((unit, per_sec)) => {
+            format!(", \"unit\": \"{unit}\", \"per_sec\": {per_sec:.1}")
+        }
+        None => String::new(),
+    };
+    format!(
+        "  \"{}\": {{\"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"max_ns\": {:.1}{tp}}}",
+        r.name, r.min_ns, r.mean_ns, r.max_ns
+    )
+}
+
+/// The benchmark name a merged `BENCH.json` entry line carries, if any.
+fn line_name(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    // Entry lines map a name to an object; the object braces distinguish
+    // them from the file's own delimiters.
+    rest[end..].contains(": {").then(|| &rest[..end])
+}
+
+/// Merge this process's records into `BENCH.json`: entries measured in this
+/// run replace same-named ones from earlier runs (each bench target is a
+/// separate process, so `cargo bench` accumulates across targets), all
+/// others are kept. One entry per line, sorted by name, so diffs against a
+/// committed baseline stay readable.
+pub fn flush_json() {
+    let fresh = std::mem::take(&mut *RECORDS.lock().expect("bench records poisoned"));
+    if fresh.is_empty() {
+        return;
+    }
+    let path = bench_json_path();
+    let mut entries: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            if let Some(name) = line_name(line) {
+                entries.insert(name.to_string(), line.trim_end_matches(',').to_string());
+            }
+        }
+    }
+    for r in &fresh {
+        entries.insert(r.name.clone(), record_line(r));
+    }
+    let mut out = String::from("{\n");
+    let last = entries.len().saturating_sub(1);
+    for (i, line) in entries.values().enumerate() {
+        out.push_str(line);
+        out.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
 
 /// Throughput annotation: scales the report to bytes/s or elements/s.
 #[derive(Clone, Copy, Debug)]
@@ -125,8 +212,14 @@ impl BenchmarkGroup<'_> {
         };
         let iters = ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-12)) as u64).max(1);
 
-        let mut samples = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        // `VISIONSIM_BENCH_SAMPLES` caps the sample count (CI smoke runs
+        // want the harness exercised, not a statistically tight number).
+        let sample_size = std::env::var("VISIONSIM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map_or(self.sample_size, |n| n.clamp(1, self.sample_size));
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
             let mut b = Bencher {
                 iters,
                 elapsed: Duration::ZERO,
@@ -144,6 +237,17 @@ impl BenchmarkGroup<'_> {
             }
             None => String::new(),
         };
+        RECORDS.lock().expect("bench records poisoned").push(BenchRecord {
+            name: format!("{}/{}", self.name, id),
+            min_ns: min * 1e9,
+            mean_ns: mean * 1e9,
+            max_ns: max * 1e9,
+            throughput: match self.throughput {
+                Some(Throughput::Bytes(n)) => Some(("bytes", n as f64 / min)),
+                Some(Throughput::Elements(n)) => Some(("elements", n as f64 / min)),
+                None => None,
+            },
+        });
         println!(
             "{}/{:<32} time: [{} {} {}]{}  ({} samples × {} iters)",
             self.name,
@@ -152,7 +256,7 @@ impl BenchmarkGroup<'_> {
             human_time(mean),
             human_time(max),
             rate,
-            self.sample_size,
+            sample_size,
             iters,
         );
         self
@@ -229,12 +333,13 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running each group.
+/// Entry point running each group, then flushing `BENCH.json`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)*) => {
         fn main() {
             $($group();)+
+            $crate::flush_json();
         }
     };
 }

@@ -201,7 +201,7 @@ mod tests {
                     dst: NetAddr(dst),
                     ports: PortPair::new(5004, 5004),
                     wire_size: ByteSize::from_bytes(bytes_each),
-                    header_snippet: wire[..16].to_vec(),
+                    header_snippet: visionsim_net::tap::HeaderSnippet::from_payload(&wire[..16]),
                     direction: TapDirection::Transit,
                     corrupted: false,
                 }

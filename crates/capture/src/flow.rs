@@ -12,7 +12,7 @@ use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::{ByteSize, DataRate};
 use visionsim_geo::geodb::NetAddr;
 use visionsim_net::packet::PortPair;
-use visionsim_net::tap::TapRecord;
+use visionsim_net::tap::{HeaderSnippet, TapRecord};
 use visionsim_transport::classify::{classify_flow, WireProtocol};
 
 /// Unidirectional flow key.
@@ -40,8 +40,9 @@ pub struct FlowStats {
     /// Per-second throughput.
     pub rate: RateSeries,
     /// Retained header snippets (capped — classification needs a sample,
-    /// not the universe).
-    snippets: Vec<Vec<u8>>,
+    /// not the universe). Inline `Copy` values: retention is a plain push,
+    /// never a per-packet allocation.
+    snippets: Vec<HeaderSnippet>,
 }
 
 /// How many snippets a flow retains for classification.
@@ -103,7 +104,7 @@ impl FlowTable {
         stats.last_seen = rec.at;
         stats.rate.record(rec.at, rec.wire_size);
         if stats.snippets.len() < SNIPPET_CAP {
-            stats.snippets.push(rec.header_snippet.clone());
+            stats.snippets.push(rec.header_snippet);
         }
     }
 
@@ -145,14 +146,14 @@ mod tests {
     use super::*;
     use visionsim_net::tap::TapDirection;
 
-    fn record(src: u32, dst: u32, at_ms: u64, size: u64, snippet: Vec<u8>) -> TapRecord {
+    fn record(src: u32, dst: u32, at_ms: u64, size: u64, snippet: &[u8]) -> TapRecord {
         TapRecord {
             at: SimTime::from_millis(at_ms),
             src: NetAddr(src),
             dst: NetAddr(dst),
             ports: PortPair::new(5004, 5004),
             wire_size: ByteSize::from_bytes(size),
-            header_snippet: snippet,
+            header_snippet: HeaderSnippet::from_payload(snippet),
             direction: TapDirection::Transit,
             corrupted: false,
         }
@@ -161,9 +162,9 @@ mod tests {
     #[test]
     fn flows_aggregate_by_tuple() {
         let mut t = FlowTable::new();
-        t.ingest(&record(1, 2, 0, 100, vec![]));
-        t.ingest(&record(1, 2, 10, 200, vec![]));
-        t.ingest(&record(2, 1, 20, 50, vec![]));
+        t.ingest(&record(1, 2, 0, 100, &[]));
+        t.ingest(&record(1, 2, 10, 200, &[]));
+        t.ingest(&record(2, 1, 20, 50, &[]));
         assert_eq!(t.len(), 2);
         let up = t.uplink_of(NetAddr(1));
         assert_eq!(up.len(), 1);
@@ -176,7 +177,7 @@ mod tests {
         let mut t = FlowTable::new();
         // 125 KB per 100 ms for 4 s = 10 Mbps.
         for i in 0..40 {
-            t.ingest(&record(1, 2, i * 100, 125_000, vec![]));
+            t.ingest(&record(1, 2, i * 100, 125_000, &[]));
         }
         let (_, stats) = t.flows().next().unwrap();
         let rate = stats.mean_rate().as_mbps_f64();
@@ -191,7 +192,7 @@ mod tests {
         let mut t = FlowTable::new();
         for i in 0..10 {
             let wire = s.packetize(i as f64 / 90.0, vec![0; 100], true).to_bytes();
-            t.ingest(&record(1, 2, i, 128, wire[..16].to_vec()));
+            t.ingest(&record(1, 2, i, 128, &wire[..16]));
         }
         let (_, stats) = t.flows().next().unwrap();
         assert_eq!(
@@ -204,7 +205,7 @@ mod tests {
     fn snippet_retention_is_capped() {
         let mut t = FlowTable::new();
         for i in 0..1_000 {
-            t.ingest(&record(1, 2, i, 100, vec![0x80, 96]));
+            t.ingest(&record(1, 2, i, 100, &[0x80, 96]));
         }
         let (_, stats) = t.flows().next().unwrap();
         assert!(stats.snippets.len() <= SNIPPET_CAP);

@@ -56,7 +56,7 @@ mod tests {
             dst: NetAddr(0x22000002),
             ports: PortPair::new(443, 5004),
             wire_size: ByteSize::from_bytes(1_028),
-            header_snippet: vec![0x80, 96, 0, 0],
+            header_snippet: visionsim_net::tap::HeaderSnippet::from_payload(&[0x80, 96, 0, 0]),
             direction: TapDirection::Egress,
             corrupted: false,
         }

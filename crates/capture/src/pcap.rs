@@ -35,7 +35,7 @@ pub fn to_pcap<'a, I: IntoIterator<Item = &'a TapRecord>>(records: I) -> Vec<u8>
     push_u32(&mut out, LINKTYPE_RAW);
 
     for rec in records {
-        let payload = &rec.header_snippet;
+        let payload = rec.header_snippet.as_slice();
         let ip_len = 20 + 8 + payload.len();
         let orig_len = rec.wire_size.as_bytes() as u32;
         let ts_us = rec.at.as_nanos() / 1_000;
@@ -192,7 +192,7 @@ mod tests {
     use visionsim_core::units::ByteSize;
     use visionsim_geo::geodb::NetAddr;
     use visionsim_net::packet::PortPair;
-    use visionsim_net::tap::TapDirection;
+    use visionsim_net::tap::{HeaderSnippet, TapDirection};
 
     fn rec(at_ms: u64, src: u32, dst: u32, size: u64) -> TapRecord {
         TapRecord {
@@ -201,7 +201,7 @@ mod tests {
             dst: NetAddr(dst),
             ports: PortPair::new(5_000, 443),
             wire_size: ByteSize::from_bytes(size),
-            header_snippet: vec![0x40, 1, 2, 3, 4, 5, 6, 7],
+            header_snippet: HeaderSnippet::from_payload(&[0x40, 1, 2, 3, 4, 5, 6, 7]),
             direction: TapDirection::Transit,
             corrupted: false,
         }
@@ -220,7 +220,7 @@ mod tests {
         assert_eq!(parsed[0].src_port, 5_000);
         assert_eq!(parsed[0].dst_port, 443);
         assert_eq!(parsed[0].orig_len, 900);
-        assert_eq!(parsed[0].payload, records[0].header_snippet);
+        assert_eq!(parsed[0].payload, records[0].header_snippet.as_slice());
     }
 
     #[test]

@@ -117,7 +117,7 @@ mod tests {
             dst: NetAddr(2),
             ports: PortPair::new(5_000, 443),
             wire_size: ByteSize::from_bytes(900),
-            header_snippet: vec![],
+            header_snippet: Default::default(),
             direction: TapDirection::Transit,
             corrupted: false,
         }

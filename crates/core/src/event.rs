@@ -14,7 +14,6 @@
 use crate::sanitizer;
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Occupancy ceiling the sanitizer checks against: no workload in the
 /// workspace legitimately keeps this many events pending at once.
@@ -44,26 +43,57 @@ impl<E> PartialOrd for ScheduledEvent<E> {
     }
 }
 
-impl<E> Ord for ScheduledEvent<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so BinaryHeap (a max-heap) yields the earliest event first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> ScheduledEvent<E> {
+    /// `(at, seq)` packed into one integer so heap sifts compare once,
+    /// branchlessly — the two-level `cmp().then_with()` chain mispredicts
+    /// heavily when many events share a timestamp, which is exactly the
+    /// steady-state shape of batched packet traffic.
+    #[inline]
+    fn key(&self) -> u128 {
+        pack_key(self.at, self.seq)
     }
 }
 
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so a max-heap would yield the earliest event first; also
+        // the order `pops_in_time_order`-style consumers observe.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// `(at, seq)` packed so one unsigned compare orders events exactly like
+/// the lexicographic `(at, seq)` pair: timestamp in the high 64 bits,
+/// insertion sequence in the low 64.
+#[inline]
+const fn pack_key(at: SimTime, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | seq as u128
+}
+
 /// A deterministic discrete-event queue.
+///
+/// Internally a 4-ary min-heap in structure-of-arrays layout: sift
+/// operations compare packed `u128` keys in a dense array (four per cache
+/// line) and only move the fixed-size payloads alongside. Keys are unique
+/// (the sequence number is a tie-breaker), so the pop order is the total
+/// `(at, seq)` order regardless of heap shape — arity is purely a
+/// constant-factor choice, not a semantic one.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// Packed `(at, seq)` ordering keys, heap-ordered.
+    keys: Vec<u128>,
+    /// Payloads, parallel to `keys`.
+    payloads: Vec<E>,
     next_seq: u64,
     now: SimTime,
     /// One-shot flag so an occupancy breach reports once per queue, not
     /// once per event of a multi-million-event storm.
     occupancy_reported: bool,
 }
+
+/// Children per heap node. Four keeps the tree half as deep as a binary
+/// heap and the sibling scan inside one cache line.
+const HEAP_ARITY: usize = 4;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -75,10 +105,46 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            keys: Vec::new(),
+            payloads: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             occupancy_reported: false,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / HEAP_ARITY;
+            if self.keys[parent] <= self.keys[i] {
+                break;
+            }
+            self.keys.swap(i, parent);
+            self.payloads.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.keys.len();
+        loop {
+            let first = i * HEAP_ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let mut min = first;
+            let end = (first + HEAP_ARITY).min(n);
+            for c in first + 1..end {
+                if self.keys[c] < self.keys[min] {
+                    min = c;
+                }
+            }
+            if self.keys[i] <= self.keys[min] {
+                break;
+            }
+            self.keys.swap(i, min);
+            self.payloads.swap(i, min);
+            i = min;
         }
     }
 
@@ -102,14 +168,16 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, payload });
-        if !self.occupancy_reported && self.heap.len() > OCCUPANCY_BOUND {
+        self.keys.push(pack_key(at, seq));
+        self.payloads.push(payload);
+        self.sift_up(self.keys.len() - 1);
+        if !self.occupancy_reported && self.keys.len() > OCCUPANCY_BOUND {
             self.occupancy_reported = true;
             sanitizer::report(
                 "event/occupancy",
                 format!(
                     "queue holds {} pending events (bound {OCCUPANCY_BOUND}) at {:?}",
-                    self.heap.len(),
+                    self.keys.len(),
                     self.now
                 ),
             );
@@ -124,30 +192,72 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        let ev = self.heap.pop()?;
-        sanitizer::check(ev.at >= self.now, "event/monotonic", || {
-            format!(
-                "popped event at {:?} behind the clock at {:?}",
-                ev.at, self.now
-            )
+        if self.keys.is_empty() {
+            return None;
+        }
+        let last = self.keys.len() - 1;
+        self.keys.swap(0, last);
+        self.payloads.swap(0, last);
+        let key = self.keys.pop().expect("checked non-empty");
+        let payload = self.payloads.pop().expect("keys and payloads in sync");
+        if last > 0 {
+            self.sift_down(0);
+        }
+        let at = SimTime::from_nanos((key >> 64) as u64);
+        let seq = key as u64;
+        sanitizer::check(at >= self.now, "event/monotonic", || {
+            format!("popped event at {at:?} behind the clock at {:?}", self.now)
         });
-        self.now = ev.at;
-        Some(ev)
+        self.now = at;
+        Some(ScheduledEvent { at, seq, payload })
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.keys
+            .first()
+            .map(|&k| SimTime::from_nanos((k >> 64) as u64))
+    }
+
+    /// Pop the earliest event only if it fires at or before `until` —
+    /// the fused peek-and-pop the hot event loop drains with.
+    pub fn pop_if_due(&mut self, until: SimTime) -> Option<ScheduledEvent<E>> {
+        // One u128 compare against the horizon's upper bound: any key with
+        // timestamp ≤ until sorts below ((until + 1ns) << 64).
+        let bound = (until.as_nanos() as u128 + 1) << 64;
+        if *self.keys.first()? >= bound {
+            return None;
+        }
+        self.pop()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.keys.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.keys.is_empty()
+    }
+
+    /// Advance the clock to `until` without processing anything — the idle
+    /// fast path for callers that drain events themselves and only need the
+    /// virtual time moved (no closure, no per-event dispatch).
+    ///
+    /// # Panics
+    /// If an event earlier than `until` is still pending: skipping it would
+    /// silently reorder the simulation.
+    pub fn advance_to(&mut self, until: SimTime) {
+        if let Some(at) = self.peek_time() {
+            assert!(
+                at > until,
+                "advance_to({until:?}) would skip a pending event at {at:?}"
+            );
+        }
+        if self.now < until {
+            self.now = until;
+        }
     }
 
     /// Drain and process events until the queue is empty or `until` is
@@ -157,11 +267,7 @@ impl<E> EventQueue<E> {
     where
         F: FnMut(&mut Self, SimTime, E),
     {
-        while let Some(&ScheduledEvent { at, .. }) = self.heap.peek() {
-            if at > until {
-                break;
-            }
-            let ev = self.pop().expect("peeked event vanished");
+        while let Some(ev) = self.pop_if_due(until) {
             handler(self, ev.at, ev.payload);
         }
         if self.now < until {
@@ -230,6 +336,29 @@ mod tests {
         assert_eq!(fired, vec![0, 1, 2, 3, 4]);
         assert_eq!(q.now(), SimTime::from_millis(5));
         assert_eq!(q.len(), 1); // the 6 ms event is still pending
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_without_dispatch() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.advance_to(SimTime::from_millis(250));
+        assert_eq!(q.now(), SimTime::from_millis(250));
+        // Never moves backwards.
+        q.advance_to(SimTime::from_millis(100));
+        assert_eq!(q.now(), SimTime::from_millis(250));
+        // Pending events beyond the horizon are untouched.
+        q.schedule(SimTime::from_millis(900), 1);
+        q.advance_to(SimTime::from_millis(500));
+        assert_eq!(q.now(), SimTime::from_millis(500));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn advance_to_refuses_to_skip_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.advance_to(SimTime::from_millis(20));
     }
 
     #[test]

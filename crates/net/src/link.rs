@@ -140,6 +140,7 @@ impl LinkState {
     /// Compute when a packet of `size` accepted at `now` finishes
     /// serializing, updating the busy horizon. Returns `None` when the
     /// drop-tail queue is full.
+    #[inline]
     pub fn serialize(&mut self, now: SimTime, size: ByteSize) -> Option<SimTime> {
         match self.config.rate {
             None => Some(now),

@@ -80,6 +80,26 @@ impl Netem {
 
     /// Sample the impairment's verdict for one packet.
     pub fn apply(&mut self, now: SimTime, size: ByteSize, rng: &mut SimRng) -> NetemVerdict {
+        // Fused transparent-config check: an unimpaired link (the common
+        // case on the forwarding fast path) takes one predictable branch
+        // and draws no randomness. The fall-through handles every knob in
+        // the same order as always, so RNG draw sequence — and therefore
+        // artifact determinism — is unchanged.
+        if !self.down
+            && self.ge.is_none()
+            && self.loss == 0.0
+            && self.jitter.is_zero()
+            && self.profile.is_none()
+            && self.shaper.is_none()
+            && self.reorder == 0.0
+            && self.corrupt == 0.0
+            && self.duplicate == 0.0
+        {
+            return NetemVerdict::Deliver {
+                delay: self.extra_delay,
+                corrupt: false,
+            };
+        }
         if self.down {
             return NetemVerdict::Drop;
         }

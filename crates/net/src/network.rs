@@ -6,18 +6,44 @@
 //! change). Delivered packets land in the destination node's inbox for the
 //! application layer to poll; taps observe everything that transits their
 //! node.
+//!
+//! # The zero-copy fast path
+//!
+//! The event loop is the hottest code in the workspace — every experiment
+//! artifact funnels through it — so the datapath is built around shared
+//! immutable buffers and O(1)-per-hop bookkeeping:
+//!
+//! * payloads are `Arc<[u8]>`, allocated once when the frame is emitted
+//!   and shared by every copy (duplicates, retransmissions, SFU fan-out);
+//! * routes are resolved once into `Arc<[LinkId]>` handed out by the
+//!   route cache; a packet carries a `(route, hop)` cursor, never a
+//!   per-event clone of the link list;
+//! * in-flight packets live in a slab (`flights` + LIFO free list) and
+//!   [`EventQueue`] stores a fixed-size POD referencing a slot, so heap
+//!   sift operations move a few words instead of owning payload vectors.
+//!
+//! Forwarding a warmed-up packet one hop performs no heap allocation (the
+//! `alloc_gate` integration test pins this with a counting allocator, and
+//! [`PER_HOP_ALLOC_BUDGET`] is the gated budget).
 
 use crate::link::{LinkConfig, LinkId, LinkState};
 use crate::netem::NetemVerdict;
 use crate::packet::{Packet, PortPair};
 use crate::tap::{Tap, TapDirection, TapId, TapRecord};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 use visionsim_core::event::EventQueue;
 use visionsim_core::sanitizer;
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
+use visionsim_core::units::ByteSize;
 use visionsim_geo::coords::GeoPoint;
 use visionsim_geo::geodb::{GeoDb, NetAddr};
+
+/// Heap allocations the steady-state datapath may perform per hop, gated
+/// by the `alloc_gate` integration test: zero for the forwarding machinery
+/// itself, with one budgeted for amortized growth of tap-record storage.
+pub const PER_HOP_ALLOC_BUDGET: usize = 1;
 
 /// Identifier of a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,15 +69,54 @@ pub struct Delivered {
     pub at: SimTime,
 }
 
-#[derive(Debug)]
+/// One in-flight copy of a packet: the packet itself plus its route
+/// cursor. Lives in the network's flight slab; queue events reference it
+/// by slot index. Cloning (for the duplication impairment) bumps two
+/// refcounts — payload bytes and the route are shared.
+#[derive(Clone, Debug)]
+struct Flight {
+    packet: Packet,
+    route: Arc<[LinkId]>,
+    /// Position in `route` currently being traversed.
+    hop: u32,
+}
+
+/// Multiply-rotate hasher for the route cache's small fixed-width
+/// `(usize, usize)` keys. The default SipHash is DoS-hardened for
+/// untrusted input; cache keys here are simulator-internal node indices,
+/// and the hash sits on the per-send fast path.
+#[derive(Default)]
+struct RouteKeyHasher(u64);
+
+impl std::hash::Hasher for RouteKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (self.0 ^ n as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(23);
+    }
+}
+
+type RouteCache =
+    HashMap<(usize, usize), Option<Arc<[LinkId]>>, std::hash::BuildHasherDefault<RouteKeyHasher>>;
+
+/// Fixed-size POD event: the queue owns indices, never payloads.
+#[derive(Clone, Copy, Debug)]
 enum NetEvent {
-    /// Packet finishes traversing link `link` (serialization + delay +
-    /// impairments) and pops out at the link's tail node; `hop` indexes
-    /// the packet's position in its route.
+    /// The flight in slot `flight` finishes traversing `route[hop]`
+    /// (serialization + delay + impairments) and pops out at the link's
+    /// tail node.
     LinkExit {
-        packet: Packet,
-        route: Vec<LinkId>,
-        hop: usize,
+        flight: u32,
     },
 }
 
@@ -63,7 +128,15 @@ pub struct Network {
     /// Outgoing link ids per node.
     adjacency: Vec<Vec<LinkId>>,
     queue: EventQueue<NetEvent>,
-    route_cache: HashMap<(usize, usize), Option<Vec<LinkId>>>,
+    route_cache: RouteCache,
+    /// One-entry memo in front of `route_cache`: steady traffic re-sends
+    /// along the same `(src, dst)` pair, so most lookups skip the hash map
+    /// entirely. Invalidated together with the cache.
+    last_route: Option<(usize, usize, Arc<[LinkId]>)>,
+    /// In-flight packet slab; slot indices are what events carry.
+    flights: Vec<Option<Flight>>,
+    /// Reusable slab slots (LIFO, so a forwarded packet keeps its slot).
+    free_flights: Vec<u32>,
     taps: Vec<Tap>,
     geodb: GeoDb,
     rng: SimRng,
@@ -79,7 +152,10 @@ impl Network {
             links: Vec::new(),
             adjacency: Vec::new(),
             queue: EventQueue::new(),
-            route_cache: HashMap::new(),
+            route_cache: RouteCache::default(),
+            last_route: None,
+            flights: Vec::new(),
+            free_flights: Vec::new(),
             taps: Vec::new(),
             geodb: GeoDb::new(),
             rng: SimRng::seed_from_u64(seed),
@@ -112,6 +188,7 @@ impl Network {
         });
         self.adjacency.push(Vec::new());
         self.route_cache.clear();
+        self.last_route = None;
         id
     }
 
@@ -140,6 +217,7 @@ impl Network {
         self.links.push(LinkState::new(from.0, to.0, config));
         self.adjacency[from.0].push(id);
         self.route_cache.clear();
+        self.last_route = None;
         id
     }
 
@@ -163,6 +241,7 @@ impl Network {
     pub fn set_down(&mut self, link: LinkId, down: bool) {
         self.links[link.0].config.netem.down = down;
         self.route_cache.clear();
+        self.last_route = None;
     }
 
     /// Every link touching `node` in either direction (for taking a whole
@@ -207,22 +286,49 @@ impl Network {
         std::mem::take(&mut self.taps[tap.0].records)
     }
 
-    fn record_tap(&mut self, node: usize, at: SimTime, packet: &Packet, dir: TapDirection) {
-        // Collect tap ids first to appease the borrow checker.
-        let tap_ids: Vec<usize> = self.nodes[node].taps.clone();
-        for t in tap_ids {
-            self.taps[t].records.push(TapRecord::capture(at, packet, dir));
+    /// Associated (not `&mut self`) so callers can observe a packet still
+    /// parked in the flight slab: `nodes` and `taps` are disjoint field
+    /// borrows, and the node's tap list is only read while tap storage is
+    /// written — no per-packet clone of the id list.
+    fn record_tap(
+        nodes: &[Node],
+        taps: &mut [Tap],
+        node: usize,
+        at: SimTime,
+        packet: &Packet,
+        dir: TapDirection,
+    ) {
+        let tap_ids = &nodes[node].taps;
+        if tap_ids.is_empty() {
+            return;
+        }
+        let record = TapRecord::capture(at, packet, dir);
+        for &t in tap_ids {
+            taps[t].records.push(record);
         }
     }
 
     /// Minimum-latency route (sequence of links) from `src` to `dst`,
-    /// computed by Dijkstra over link propagation delays and cached.
-    pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
-        if let Some(cached) = self.route_cache.get(&(src.0, dst.0)) {
-            return cached.clone();
+    /// computed by Dijkstra over link propagation delays, interned into a
+    /// shared slice, and cached — every packet on the path carries a
+    /// refcount on the same allocation.
+    pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Arc<[LinkId]>> {
+        if let Some((s, d, r)) = &self.last_route {
+            if *s == src.0 && *d == dst.0 {
+                return Some(r.clone());
+            }
         }
-        let route = self.dijkstra(src.0, dst.0);
-        self.route_cache.insert((src.0, dst.0), route.clone());
+        let route = match self.route_cache.get(&(src.0, dst.0)) {
+            Some(cached) => cached.clone(),
+            None => {
+                let route: Option<Arc<[LinkId]>> = self.dijkstra(src.0, dst.0).map(Arc::from);
+                self.route_cache.insert((src.0, dst.0), route.clone());
+                route
+            }
+        };
+        if let Some(r) = &route {
+            self.last_route = Some((src.0, dst.0, r.clone()));
+        }
         route
     }
 
@@ -283,49 +389,97 @@ impl Network {
 
     /// Send a payload from `src` to `dst`. Returns the packet sequence
     /// number, or `None` when no route exists or the first hop drops it.
+    ///
+    /// Accepts anything convertible into a shared buffer: a `Vec<u8>` is
+    /// interned once, an `Arc<[u8]>` (e.g. a frame already emitted by
+    /// transport framing, or a delivered packet's payload being relayed)
+    /// is shared without copying a byte.
     pub fn send(
         &mut self,
         src: NodeId,
         dst: NodeId,
         ports: PortPair,
-        payload: Vec<u8>,
+        payload: impl Into<Arc<[u8]>>,
     ) -> Option<u64> {
         let route = self.route(src, dst)?;
         assert!(!route.is_empty(), "send to self is not supported");
         let seq = self.next_seq;
         self.next_seq += 1;
+        let now = self.now();
         let packet = Packet {
             seq,
             src: self.nodes[src.0].addr,
             dst: self.nodes[dst.0].addr,
             ports,
-            payload,
-            sent_at: self.now(),
+            payload: payload.into(),
+            sent_at: now,
             corrupted: false,
         };
-        self.record_tap(src.0, self.now(), &packet, TapDirection::Egress);
-        if self.push_onto_link(packet, route, 0) {
+        Self::record_tap(
+            &self.nodes,
+            &mut self.taps,
+            src.0,
+            now,
+            &packet,
+            TapDirection::Egress,
+        );
+        let first = route[0];
+        let size = packet.wire_size();
+        let slot = self.alloc_flight(Flight {
+            packet,
+            route,
+            hop: 0,
+        });
+        if self.admit_slot(slot, first, size) {
             Some(seq)
         } else {
             None
         }
     }
 
-    /// Enqueue `packet` onto `route[hop]`. Returns false if dropped.
-    fn push_onto_link(&mut self, mut packet: Packet, route: Vec<LinkId>, hop: usize) -> bool {
+    /// Park a flight in the slab, reusing a freed slot when one exists.
+    /// Steady-state traffic allocates nothing here: the slab grows to the
+    /// in-flight high-water mark once and slots recycle LIFO.
+    fn alloc_flight(&mut self, flight: Flight) -> u32 {
+        match self.free_flights.pop() {
+            Some(slot) => {
+                self.flights[slot as usize] = Some(flight);
+                slot
+            }
+            None => {
+                let slot = self.flights.len() as u32;
+                self.flights.push(Some(flight));
+                slot
+            }
+        }
+    }
+
+    /// Remove and return the flight in `slot`, releasing the slot.
+    fn free_flight(&mut self, slot: u32) -> Flight {
+        self.free_flights.push(slot);
+        self.flights[slot as usize]
+            .take()
+            .expect("event referenced an empty flight slot")
+    }
+
+    /// Admit the flight in `slot` onto the link its cursor points at.
+    /// The flight stays in its slab slot for the link crossing; only the
+    /// rare duplication and drop outcomes touch the slab at all. Returns
+    /// false (releasing the slot) if the link dropped the packet.
+    fn admit_slot(&mut self, slot: u32, lid: LinkId, size: ByteSize) -> bool {
         let now = self.now();
-        let lid = route[hop];
-        let size = packet.wire_size();
         let (exit_time, dup_exit, corrupt) = {
             let link = &mut self.links[lid.0];
             let Some(serialized) = link.serialize(now, size) else {
                 self.dropped += 1;
+                self.free_flight(slot);
                 return false;
             };
             match link.config.netem.apply(now, size, &mut self.rng) {
                 NetemVerdict::Drop => {
                     link.stats.netem_drops += 1;
                     self.dropped += 1;
+                    self.free_flight(slot);
                     return false;
                 }
                 NetemVerdict::Deliver { delay, corrupt } => {
@@ -352,63 +506,94 @@ impl Network {
                 }
             }
         };
-        packet.corrupted |= corrupt;
-        if let Some(dup_at) = dup_exit {
-            self.queue.schedule(
-                dup_at,
-                NetEvent::LinkExit {
-                    packet: packet.clone(),
-                    route: route.clone(),
-                    hop,
-                },
-            );
+        if corrupt {
+            self.flights[slot as usize]
+                .as_mut()
+                .expect("corrupting an empty flight slot")
+                .packet
+                .corrupted = true;
         }
-        self.queue.schedule(
-            exit_time,
-            NetEvent::LinkExit {
-                packet,
-                route,
-                hop,
-            },
-        );
+        if let Some(dup_at) = dup_exit {
+            // The duplicate copy forwards independently from this hop on;
+            // the clone bumps the payload and route refcounts — no bytes
+            // are copied. Scheduled before the primary so same-instant
+            // FIFO tie-breaking is stable across refactors.
+            let dup = self
+                .flights
+                .get(slot as usize)
+                .and_then(|f| f.clone())
+                .expect("duplicating an empty flight slot");
+            let dup = self.alloc_flight(dup);
+            self.queue.schedule(dup_at, NetEvent::LinkExit { flight: dup });
+        }
+        self.queue.schedule(exit_time, NetEvent::LinkExit { flight: slot });
         true
     }
 
     /// Advance the simulation to `until`, processing all traffic events.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event vanished");
+        while let Some(ev) = self.queue.pop_if_due(until) {
             match ev.payload {
-                NetEvent::LinkExit {
-                    packet,
-                    route,
-                    hop,
-                } => {
-                    {
-                        let stats = &mut self.links[route[hop].0].stats;
-                        stats.exited += 1;
-                        stats.exited_bytes += packet.wire_size().as_bytes();
-                        stats.in_flight -= 1;
-                        stats.in_flight_bytes -= packet.wire_size().as_bytes();
-                    }
-                    let node = self.links[route[hop].0].to;
+                NetEvent::LinkExit { flight: slot } => {
                     let at = ev.at;
-                    if hop + 1 == route.len() {
-                        self.record_tap(node, at, &packet, TapDirection::Ingress);
-                        self.nodes[node].inbox.push_back(Delivered { packet, at });
+                    // Read the cursor — and advance it when there are hops
+                    // left — without evicting the flight: a forwarded
+                    // packet stays in its slot hop after hop.
+                    let (lid, size, next) = {
+                        let flight = self.flights[slot as usize]
+                            .as_mut()
+                            .expect("event referenced an empty flight slot");
+                        let hop = flight.hop as usize;
+                        let lid = flight.route[hop];
+                        let next = flight.route.get(hop + 1).copied();
+                        if next.is_some() {
+                            flight.hop += 1;
+                        }
+                        (lid, flight.packet.wire_size(), next)
+                    };
+                    let node = {
+                        let link = &mut self.links[lid.0];
+                        link.stats.exited += 1;
+                        link.stats.exited_bytes += size.as_bytes();
+                        link.stats.in_flight -= 1;
+                        link.stats.in_flight_bytes -= size.as_bytes();
+                        link.to
+                    };
+                    if let Some(next_lid) = next {
+                        let flight = self.flights[slot as usize]
+                            .as_ref()
+                            .expect("event referenced an empty flight slot");
+                        Self::record_tap(
+                            &self.nodes,
+                            &mut self.taps,
+                            node,
+                            at,
+                            &flight.packet,
+                            TapDirection::Transit,
+                        );
+                        self.admit_slot(slot, next_lid, size);
                     } else {
-                        self.record_tap(node, at, &packet, TapDirection::Transit);
-                        self.push_onto_link(packet, route, hop + 1);
+                        let flight = self.free_flight(slot);
+                        Self::record_tap(
+                            &self.nodes,
+                            &mut self.taps,
+                            node,
+                            at,
+                            &flight.packet,
+                            TapDirection::Ingress,
+                        );
+                        self.nodes[node].inbox.push_back(Delivered {
+                            packet: flight.packet,
+                            at,
+                        });
                     }
                 }
             }
         }
-        // Advance the clock even if idle.
+        // Advance the clock even if idle — a bare clock move, not the
+        // handler machinery of `EventQueue::run_until`.
         if self.queue.now() < until {
-            self.queue.run_until(until, |_, _, _| {});
+            self.queue.advance_to(until);
         }
         // Per-link byte conservation: every accepted copy is either still
         // on the wire or has exited at the tail node (observe-only).
@@ -511,7 +696,9 @@ mod tests {
         let a = net.add_node("a", "t", GeoPoint::new(37.77, -122.42));
         let b = net.add_node("b", "t", GeoPoint::new(40.71, -74.01));
         assert!(net.route(a, b).is_none());
-        assert!(net.send(a, b, PortPair::new(1, 2), vec![]).is_none());
+        assert!(net
+            .send(a, b, PortPair::new(1, 2), Vec::<u8>::new())
+            .is_none());
     }
 
     #[test]

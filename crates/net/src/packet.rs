@@ -4,7 +4,14 @@
 //! `visionsim-transport` framing) between two endpoint addresses. The wire
 //! size adds the IPv4+UDP encapsulation overhead the paper's Wireshark
 //! captures would count.
+//!
+//! The payload is a shared immutable buffer (`Arc<[u8]>`): duplication,
+//! multi-hop forwarding, retransmission, and SFU fan-out to N subscribers
+//! all reference one allocation made when the frame was emitted. Per-packet
+//! mutable state (`seq`, `sent_at`, `corrupted`) stays inline in the
+//! `Packet` value, so an impairment verdict never forces a payload copy.
 
+use std::sync::Arc;
 use visionsim_core::time::SimTime;
 use visionsim_core::units::ByteSize;
 use visionsim_geo::geodb::NetAddr;
@@ -47,8 +54,10 @@ pub struct Packet {
     pub dst: NetAddr,
     /// UDP ports.
     pub ports: PortPair,
-    /// Application payload bytes (transport framing included).
-    pub payload: Vec<u8>,
+    /// Application payload bytes (transport framing included), shared
+    /// across every in-flight copy of the frame. Cloning a `Packet` bumps
+    /// a refcount; it never copies payload bytes.
+    pub payload: Arc<[u8]>,
     /// When the packet entered the network.
     pub sent_at: SimTime,
     /// Set by the corruption impairment; receivers treat the payload as
@@ -73,7 +82,7 @@ mod tests {
             src: NetAddr(1),
             dst: NetAddr(2),
             ports: PortPair::new(5004, 5004),
-            payload: vec![0u8; payload_len],
+            payload: vec![0u8; payload_len].into(),
             sent_at: SimTime::ZERO,
             corrupted: false,
         }
@@ -83,6 +92,13 @@ mod tests {
     fn wire_size_includes_encapsulation() {
         assert_eq!(packet(1000).wire_size(), ByteSize::from_bytes(1028));
         assert_eq!(packet(0).wire_size(), ByteSize::from_bytes(28));
+    }
+
+    #[test]
+    fn clone_shares_the_payload_allocation() {
+        let p = packet(512);
+        let q = p.clone();
+        assert!(Arc::ptr_eq(&p.payload, &q.payload));
     }
 
     #[test]

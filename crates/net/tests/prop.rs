@@ -192,6 +192,68 @@ fn reorder_and_duplicate_conserve_payload_bytes() {
     }
 }
 
+/// Shared payloads stay intact under duplication and corruption: every
+/// per-link byte-conservation identity holds with the sanitizer watching,
+/// and every delivered copy — original, duplicate, or corrupted — still
+/// references the allocation the sender interned (the corruption
+/// impairment flips the packet's inline flag, never the shared bytes).
+#[test]
+fn shared_payloads_conserve_bytes_under_duplication_and_corruption() {
+    use std::sync::Arc;
+    use visionsim_core::sanitizer;
+
+    let _guard = visionsim_core::par::override_guard();
+    sanitizer::force(Some(true));
+    sanitizer::reset();
+    for i in 0..CASES {
+        let mut rng = case_rng("shared_dup_corrupt", i);
+        let duplicate = rng.uniform() * 0.5;
+        let corrupt = rng.uniform() * 0.5;
+        let hops = rng.uniform_u64(1, 4) as usize;
+        let count = rng.uniform_u64(10, 99) as usize;
+        let seed = rng.next_u64();
+        let mut net = Network::new(seed);
+        let nodes: Vec<_> = (0..=hops)
+            .map(|h| net.add_node(&format!("n{h}"), "t", GeoPoint::new(37.0, -122.0 + h as f64)))
+            .collect();
+        for w in nodes.windows(2) {
+            net.add_duplex(w[0], w[1], LinkConfig::core(SimDuration::from_millis(5)));
+        }
+        for lid in 0..2 * hops {
+            let netem = net.netem_mut(visionsim_net::link::LinkId(lid));
+            netem.duplicate = duplicate;
+            netem.corrupt = corrupt;
+        }
+        let payload: Arc<[u8]> = (0..64).map(|b| (b ^ i) as u8).collect::<Vec<u8>>().into();
+        for _ in 0..count {
+            net.send(nodes[0], nodes[hops], PortPair::new(1, 2), payload.clone())
+                .unwrap();
+        }
+        net.run_until(SimTime::from_secs(5));
+        let delivered = net.poll_delivered(nodes[hops]);
+        assert!(delivered.len() >= count, "duplication must not lose packets");
+        for d in &delivered {
+            assert!(
+                Arc::ptr_eq(&d.packet.payload, &payload),
+                "case {i}: a delivered copy re-allocated the payload"
+            );
+            assert_eq!(&d.packet.payload[..], &payload[..]);
+        }
+        for lid in 0..2 * hops {
+            let s = net.link_stats(visionsim_net::link::LinkId(lid));
+            assert!(s.conserved(), "case {i} link {lid}: {s:?}");
+            assert_eq!(s.in_flight, 0, "case {i} link {lid} never drained");
+        }
+        let violations = sanitizer::take();
+        assert!(
+            violations.is_empty(),
+            "case {i}: sanitizer reported {violations:?}"
+        );
+    }
+    sanitizer::force(None);
+    sanitizer::reset();
+}
+
 /// FaultPlan replay is pure data: the due-event stream is identical no
 /// matter how work is distributed across worker threads.
 #[test]

@@ -263,8 +263,11 @@ impl QuicStreamSender {
         }
     }
 
-    /// Wrap one application payload into a serialized short packet.
-    pub fn send(&mut self, data: Vec<u8>) -> Vec<u8> {
+    /// Wrap one application payload into a serialized short packet,
+    /// returned as a shared buffer: the wire image is allocated exactly
+    /// once per frame and every downstream consumer (the network send
+    /// path, SFU fan-out, retransmission) shares it by refcount.
+    pub fn send(&mut self, data: Vec<u8>) -> std::sync::Arc<[u8]> {
         let len = data.len() as u64;
         let pkt = QuicPacket::Short {
             dcid: self.dcid,
@@ -277,7 +280,7 @@ impl QuicStreamSender {
         };
         self.next_packet_number += 1;
         self.offset += len;
-        pkt.to_bytes(&self.key)
+        pkt.to_bytes(&self.key).into()
     }
 
     /// Packets sent so far.

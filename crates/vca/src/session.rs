@@ -771,14 +771,18 @@ impl SessionRunner {
                         Topology::Sfu => servers[i],
                         Topology::P2P => clients[1 - i],
                     };
-                    let (wire, dst_port) = match persona_type {
+                    // Both framers hand back one shared wire image per
+                    // frame; the network send below shares it without
+                    // copying.
+                    let (wire, dst_port): (std::sync::Arc<[u8]>, u16) = match persona_type {
                         PersonaType::Spatial => {
                             (audio_quic[i].send(vec![0x0A; AUDIO_PAYLOAD]), QUIC_PORT)
                         }
                         PersonaType::TwoD => (
                             audio_rtp[i]
                                 .packetize(now.as_secs_f64(), vec![0x0A; AUDIO_PAYLOAD], true)
-                                .to_bytes(),
+                                .to_bytes()
+                                .into(),
                             RTP_PORT,
                         ),
                     };

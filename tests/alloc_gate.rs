@@ -1,0 +1,159 @@
+//! The allocation-regression gate.
+//!
+//! The zero-copy refactor's whole point is that steady-state forwarding
+//! performs no per-hop heap work: payloads are `Arc<[u8]>` allocated once
+//! at frame emission, routes are cached `Arc<[LinkId]>` slices, in-flight
+//! state lives in a recycled slab, and tap records are inline `Copy`
+//! values. This test pins that property with a counting global allocator
+//! so a future "just clone it here" regression fails CI instead of
+//! silently costing a malloc per packet per hop.
+//!
+//! Methodology: build a forwarding chain, run a warm-up burst so every
+//! `Vec` in the datapath (slab, free list, queue heap, inboxes, tap
+//! storage) reaches its high-water mark, then measure the allocation
+//! delta across a second identical burst. The budget is
+//! [`PER_HOP_ALLOC_BUDGET`] per traversed hop plus a flat slack for
+//! inbox/drain bookkeeping — far below the several-allocations-per-hop
+//! cost of the pre-refactor owned-`Vec` datapath.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use visionsim_core::time::{SimDuration, SimTime};
+use visionsim_geo::coords::GeoPoint;
+use visionsim_net::link::LinkConfig;
+use visionsim_net::network::{Network, NodeId, PER_HOP_ALLOC_BUDGET};
+use visionsim_net::packet::PortPair;
+
+/// Counts every heap allocation made by the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const HOPS: usize = 8;
+const BATCH: usize = 32;
+
+fn chain(hops: usize, tapped: bool) -> (Network, NodeId, NodeId) {
+    let mut net = Network::new(7);
+    let nodes: Vec<NodeId> = (0..=hops)
+        .map(|i| net.add_node(&format!("n{i}"), "gate", GeoPoint::new(37.0, -122.0 + i as f64)))
+        .collect();
+    for w in nodes.windows(2) {
+        net.add_duplex(w[0], w[1], LinkConfig::core(SimDuration::from_micros(100)));
+    }
+    if tapped {
+        for &n in &nodes {
+            net.add_tap(n);
+        }
+    }
+    (net, nodes[0], nodes[hops])
+}
+
+/// Send `BATCH` copies of `payload` down the chain, run them to delivery,
+/// and drain the destination inbox (plus taps when present).
+fn burst(net: &mut Network, src: NodeId, dst: NodeId, payload: &Arc<[u8]>, taps: usize) -> usize {
+    for i in 0..BATCH {
+        net.send(src, dst, PortPair::new(5_000, 6_000 + i as u16), payload.clone());
+    }
+    net.run_until(net.now() + SimDuration::from_millis(10));
+    let got = net.poll_delivered(dst).len();
+    for t in 0..taps {
+        net.take_tap_records(visionsim_net::tap::TapId(t));
+    }
+    got
+}
+
+#[test]
+fn warmed_forwarding_is_allocation_free_per_hop() {
+    let (mut net, src, dst) = chain(HOPS, false);
+    let payload: Arc<[u8]> = vec![0xEEu8; 1_200].into();
+
+    // Warm-up: grows the flight slab, queue heap, route cache, inboxes
+    // and the destination drain vector to their steady-state capacity.
+    for _ in 0..4 {
+        assert_eq!(burst(&mut net, src, dst, &payload, 0), BATCH);
+    }
+
+    let before = allocations();
+    let delivered = burst(&mut net, src, dst, &payload, 0);
+    let delta = allocations() - before;
+    assert_eq!(delivered, BATCH);
+
+    // Forwarding machinery itself must be allocation-free; the budget
+    // covers amortized growth of reused containers, and the flat slack
+    // covers the drain `collect` in `poll_delivered`.
+    let budget = PER_HOP_ALLOC_BUDGET * HOPS * BATCH / 8 + 16;
+    assert!(
+        delta <= budget,
+        "warmed no-tap burst allocated {delta} times \
+         ({BATCH} packets x {HOPS} hops, budget {budget}); \
+         the zero-copy fast path regressed"
+    );
+}
+
+#[test]
+fn tap_observation_stays_within_per_hop_budget() {
+    let taps = HOPS + 1;
+    let (mut net, src, dst) = chain(HOPS, true);
+    let payload: Arc<[u8]> = vec![0x7Au8; 1_200].into();
+
+    for _ in 0..4 {
+        assert_eq!(burst(&mut net, src, dst, &payload, taps), BATCH);
+    }
+
+    let before = allocations();
+    let delivered = burst(&mut net, src, dst, &payload, taps);
+    let delta = allocations() - before;
+    assert_eq!(delivered, BATCH);
+
+    // Tap records are inline `Copy` values, but draining with
+    // `take_tap_records` swaps in fresh `Vec`s, so each record push can
+    // hit amortized growth: budget one allocation per observed hop.
+    let observations = taps * BATCH;
+    let budget = PER_HOP_ALLOC_BUDGET * observations + 32;
+    assert!(
+        delta <= budget,
+        "warmed tapped burst allocated {delta} times \
+         ({observations} observations, budget {budget}); \
+         tap capture is no longer O(1)-allocation per record"
+    );
+}
+
+#[test]
+fn relaying_a_delivered_payload_allocates_nothing_for_the_bytes() {
+    // SFU-style relay: deliver once, re-send the same payload to a second
+    // destination. The payload bytes must be shared, not copied.
+    let (mut net, src, mid) = chain(2, false);
+    let payload: Arc<[u8]> = vec![0x42u8; 4_096].into();
+    net.send(src, mid, PortPair::new(1, 2), payload.clone());
+    net.run_until(SimTime::from_millis(5));
+    let d = net.poll_delivered(mid).pop().expect("delivered");
+    assert!(
+        Arc::ptr_eq(&d.packet.payload, &payload),
+        "delivery must share the sent allocation"
+    );
+}

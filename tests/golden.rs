@@ -1,0 +1,67 @@
+//! Golden checksums across the zero-copy datapath refactor.
+//!
+//! The shared-payload refactor (`Packet.payload: Arc<[u8]>`, route cursors,
+//! inline tap snippets) must not change a single output byte: these FNV-1a 64
+//! checksums were recorded from the pre-refactor datapath and the regenerated
+//! Figure 4 / Figure 6 / resilience artifacts must still hash to them at 1, 4,
+//! and 8 worker threads.
+//!
+//! To re-record after an *intentional* output change, run with
+//! `GOLDEN_PRINT=1` and paste the printed table:
+//!
+//! ```sh
+//! GOLDEN_PRINT=1 cargo test --test golden -- --nocapture
+//! ```
+
+use visionsim::core::par;
+use visionsim::experiments::harness::fnv1a64;
+use visionsim::experiments::{figure4, figure6, resilience};
+
+const SEED: u64 = 2024;
+
+/// The artifact slice under checksum: the three experiment families whose
+/// hot path is entirely `net::network` packet forwarding.
+fn artifacts() -> [(&'static str, String); 3] {
+    [
+        ("figure4", format!("{}", figure4::run(2, 3, SEED))),
+        ("figure6", format!("{}", figure6::run(3, SEED))),
+        ("resilience", format!("{}", resilience::run(5, SEED))),
+    ]
+}
+
+/// Checksums recorded from the pre-refactor (`Vec<u8>` payload) datapath.
+const GOLDEN: [(&str, u64); 3] = [
+    ("figure4", 0xf06c9073775c5dce),   // 601 bytes
+    ("figure6", 0xe49c3db79e103424),   // 876 bytes
+    ("resilience", 0x1c0614d4851436e3), // 2845 bytes
+];
+
+#[test]
+fn artifacts_match_pre_refactor_golden_checksums_at_1_4_8_threads() {
+    // `set_threads` is process-global; hold the override guard so no other
+    // test in this binary races the worker count.
+    let _guard = par::override_guard();
+    for threads in [1usize, 4, 8] {
+        par::set_threads(Some(threads));
+        let got = artifacts();
+        if std::env::var_os("GOLDEN_PRINT").is_some() {
+            for (name, text) in &got {
+                println!(
+                    "    (\"{name}\", 0x{:016x}), // {} bytes @ {threads} threads",
+                    fnv1a64(text.as_bytes()),
+                    text.len()
+                );
+            }
+            continue;
+        }
+        for ((name, text), (gname, golden)) in got.iter().zip(GOLDEN) {
+            assert_eq!(*name, gname);
+            assert_eq!(
+                fnv1a64(text.as_bytes()),
+                golden,
+                "{name} @ {threads} threads diverged from the pre-refactor golden bytes"
+            );
+        }
+    }
+    par::set_threads(None);
+}
