@@ -31,6 +31,12 @@ echo "== allocation gate: sanitizer on and off =="
 VISIONSIM_SANITIZE=1 cargo test -q --release --test alloc_gate
 VISIONSIM_SANITIZE=0 cargo test -q --release --test alloc_gate
 
+echo "== allocation gate: flight recorder on and off =="
+# Same budgets with the trace ring and metrics registry live: recording is
+# preallocated-ring + atomics and must not put mallocs on the hot path.
+VISIONSIM_TRACE=1 VISIONSIM_METRICS=1 cargo test -q --release --test alloc_gate
+VISIONSIM_TRACE=0 VISIONSIM_METRICS=0 cargo test -q --release --test alloc_gate
+
 echo "== packet_path bench smoke =="
 # Quick pass (few samples) to catch bit-rot in the bench harness and gross
 # datapath regressions; results go to a scratch file so the committed
@@ -57,6 +63,21 @@ test -f "$ARTDIR/manifest.json" || { echo "manifest missing after failure" >&2; 
 VISIONSIM_ARTIFACT_DIR="$ARTDIR" ./target/release/regenerate 2024 --resume > /dev/null
 test -f "$ARTDIR/figure5.txt" || { echo "resume did not regenerate the failed artifact" >&2; exit 1; }
 rm -rf "$ARTDIR"
+
+echo "== flight recorder smoke: trace + metrics sidecars and dump =="
+TRACEDIR=$(mktemp -d)
+# One fast artifact that drives real packets (Table 1 probes the network),
+# with the recorder on: both sidecars must land next to the artifact.
+VISIONSIM_ARTIFACT_DIR="$TRACEDIR" VISIONSIM_TRACE=1 VISIONSIM_METRICS=1 \
+  ./target/release/regenerate 2024 --only table1 > /dev/null
+test -f "$TRACEDIR/table1.metrics.json" || { echo "metrics sidecar missing" >&2; exit 1; }
+test -f "$TRACEDIR/table1.trace.bin" || { echo "trace sidecar missing" >&2; exit 1; }
+grep -q '"net/link_bytes_sent"' "$TRACEDIR/table1.metrics.json" \
+  || { echo "metrics sidecar lacks the per-link byte counters" >&2; exit 1; }
+# The dump must decode the image and show the datapath events.
+./target/release/trace_dump "$TRACEDIR/table1.trace.bin" | grep -q 'packet_send' \
+  || { echo "trace dump shows no packet_send events" >&2; exit 1; }
+rm -rf "$TRACEDIR"
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -27,8 +27,11 @@
 //! per-iteration min / mean / max are reported (min is the headline number:
 //! it is the least noise-contaminated statistic on a shared machine).
 
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use visionsim_core::SimError;
+use visionsim_experiments::harness::write_atomic;
 
 /// One measured benchmark, in the shape `BENCH.json` records.
 #[derive(Clone, Debug)]
@@ -87,21 +90,44 @@ fn line_name(line: &str) -> Option<&str> {
 /// separate process, so `cargo bench` accumulates across targets), all
 /// others are kept. One entry per line, sorted by name, so diffs against a
 /// committed baseline stay readable.
-pub fn flush_json() {
-    let fresh = std::mem::take(&mut *RECORDS.lock().expect("bench records poisoned"));
+///
+/// Errors (a `VISIONSIM_BENCH_JSON` pointing into a nonexistent directory,
+/// an unwritable target) come back as [`SimError::Io`]; the file on disk is
+/// either the previous contents or the full merged result, never a partial
+/// write (the merge goes through the harness's atomic temp-then-rename
+/// helper).
+pub fn try_flush_json() -> Result<(), SimError> {
+    let fresh = std::mem::take(&mut *RECORDS.lock().unwrap_or_else(|e| e.into_inner()));
     if fresh.is_empty() {
-        return;
+        return Ok(());
     }
-    let path = bench_json_path();
+    merge_into(&bench_json_path(), &fresh)
+}
+
+/// [`try_flush_json`] with an explicit target path (testable without env).
+fn merge_into(path: &Path, fresh: &[BenchRecord]) -> Result<(), SimError> {
+    // `write_atomic` creates missing parent directories as a convenience
+    // for artifacts; for bench results a missing directory means
+    // `VISIONSIM_BENCH_JSON` is misconfigured, so refuse instead of
+    // silently materializing the typo'd path.
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    if !dir.is_dir() {
+        return Err(SimError::Io {
+            what: "bench json dir",
+        });
+    }
     let mut entries: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
-    if let Ok(existing) = std::fs::read_to_string(&path) {
+    if let Ok(existing) = std::fs::read_to_string(path) {
         for line in existing.lines() {
             if let Some(name) = line_name(line) {
                 entries.insert(name.to_string(), line.trim_end_matches(',').to_string());
             }
         }
     }
-    for r in &fresh {
+    for r in fresh {
         entries.insert(r.name.clone(), record_line(r));
     }
     let mut out = String::from("{\n");
@@ -111,8 +137,19 @@ pub fn flush_json() {
         out.push_str(if i == last { "\n" } else { ",\n" });
     }
     out.push_str("}\n");
-    if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+    write_atomic(path, out.as_bytes()).map_err(|_| SimError::Io {
+        what: "bench json write",
+    })
+}
+
+/// [`try_flush_json`], downgrading failure to a stderr warning — bench
+/// results are a byproduct; a bad results path must not fail the run.
+pub fn flush_json() {
+    if let Err(e) = try_flush_json() {
+        eprintln!(
+            "warning: could not write {}: {e}",
+            bench_json_path().display()
+        );
     }
 }
 
@@ -237,7 +274,7 @@ impl BenchmarkGroup<'_> {
             }
             None => String::new(),
         };
-        RECORDS.lock().expect("bench records poisoned").push(BenchRecord {
+        RECORDS.lock().unwrap_or_else(|e| e.into_inner()).push(BenchRecord {
             name: format!("{}/{}", self.name, id),
             min_ns: min * 1e9,
             mean_ns: mean * 1e9,
@@ -363,6 +400,42 @@ mod tests {
     #[test]
     fn benchmark_id_formats_with_parameter() {
         assert_eq!(BenchmarkId::new("session", 5).to_string(), "session/5");
+    }
+
+    fn record(name: &str, ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            min_ns: ns,
+            mean_ns: ns,
+            max_ns: ns,
+            throughput: None,
+        }
+    }
+
+    #[test]
+    fn merge_into_nonexistent_dir_errs_without_partial_file() {
+        let dir = std::env::temp_dir().join("visionsim-bench-no-such-dir");
+        // The directory must genuinely not exist for the refusal path.
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("BENCH.json");
+        let err = merge_into(&path, &[record("g/f", 1.0)]).unwrap_err();
+        assert_eq!(format!("{err}"), "io failure: bench json dir");
+        assert!(!dir.exists(), "refusal must not materialize the directory");
+    }
+
+    #[test]
+    fn merge_into_replaces_same_named_entries_and_keeps_others() {
+        let dir = std::env::temp_dir().join("visionsim-bench-merge-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH.json");
+        let _ = std::fs::remove_file(&path);
+        merge_into(&path, &[record("g/old", 1.0), record("g/keep", 2.0)]).expect("first");
+        merge_into(&path, &[record("g/old", 9.0)]).expect("second");
+        let text = std::fs::read_to_string(&path).expect("merged file");
+        assert!(text.contains("\"g/keep\": {\"min_ns\": 2.0"), "{text}");
+        assert!(text.contains("\"g/old\": {\"min_ns\": 9.0"), "{text}");
+        assert!(text.ends_with("}\n"), "complete JSON object: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

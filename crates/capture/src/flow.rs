@@ -7,6 +7,8 @@
 //! statistics perform.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use visionsim_core::metrics::{self, Class};
 use visionsim_core::series::RateSeries;
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::{ByteSize, DataRate};
@@ -14,6 +16,28 @@ use visionsim_geo::geodb::NetAddr;
 use visionsim_net::packet::PortPair;
 use visionsim_net::tap::{HeaderSnippet, TapRecord};
 use visionsim_transport::classify::{classify_flow, WireProtocol};
+
+/// Cached handles into the metrics registry: distinct-flow count plus a
+/// tally per classification verdict. All [`Class::Sim`] — classification
+/// is a pure function of captured bytes.
+struct CaptureMetrics {
+    flows: metrics::Counter,
+    classified_rtp: metrics::Counter,
+    classified_rtcp: metrics::Counter,
+    classified_quic: metrics::Counter,
+    classified_unknown: metrics::Counter,
+}
+
+fn capture_metrics() -> &'static CaptureMetrics {
+    static M: OnceLock<CaptureMetrics> = OnceLock::new();
+    M.get_or_init(|| CaptureMetrics {
+        flows: metrics::counter("capture/flows", Class::Sim),
+        classified_rtp: metrics::counter("capture/classified_rtp", Class::Sim),
+        classified_rtcp: metrics::counter("capture/classified_rtcp", Class::Sim),
+        classified_quic: metrics::counter("capture/classified_quic", Class::Sim),
+        classified_unknown: metrics::counter("capture/classified_unknown", Class::Sim),
+    })
+}
 
 /// Unidirectional flow key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,7 +96,15 @@ impl FlowStats {
 
     /// Majority-vote protocol verdict over retained snippets.
     pub fn protocol(&self) -> WireProtocol {
-        classify_flow(self.snippets.iter().map(|s| s.as_slice())).0
+        let verdict = classify_flow(self.snippets.iter().map(|s| s.as_slice())).0;
+        let m = capture_metrics();
+        match verdict {
+            WireProtocol::Rtp(_) => m.classified_rtp.inc(),
+            WireProtocol::Rtcp => m.classified_rtcp.inc(),
+            WireProtocol::Quic => m.classified_quic.inc(),
+            WireProtocol::Unknown => m.classified_unknown.inc(),
+        }
+        verdict
     }
 }
 
@@ -95,10 +127,10 @@ impl FlowTable {
             dst: rec.dst,
             ports: rec.ports,
         };
-        let stats = self
-            .flows
-            .entry(key)
-            .or_insert_with(|| FlowStats::new(rec.at));
+        let stats = self.flows.entry(key).or_insert_with(|| {
+            capture_metrics().flows.inc();
+            FlowStats::new(rec.at)
+        });
         stats.packets += 1;
         stats.bytes += rec.wire_size;
         stats.last_seen = rec.at;

@@ -22,6 +22,25 @@ fn push_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+// Width-checked reads for the parser. `None` on a short slice, so every
+// field access below is provably panic-free — no length-guarded
+// `try_into().expect(...)` an edit three functions away can invalidate.
+
+fn le_u32_at(bytes: &[u8], pos: usize) -> Option<u32> {
+    let b: &[u8; 4] = bytes.get(pos..pos + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(*b))
+}
+
+fn be_u32_at(bytes: &[u8], pos: usize) -> Option<u32> {
+    let b: &[u8; 4] = bytes.get(pos..pos + 4)?.try_into().ok()?;
+    Some(u32::from_be_bytes(*b))
+}
+
+fn be_u16_at(bytes: &[u8], pos: usize) -> Option<u16> {
+    let b: &[u8; 2] = bytes.get(pos..pos + 2)?.try_into().ok()?;
+    Some(u16::from_be_bytes(*b))
+}
+
 /// Serialize records into a pcap file image.
 pub fn to_pcap<'a, I: IntoIterator<Item = &'a TapRecord>>(records: I) -> Vec<u8> {
     let mut out = Vec::new();
@@ -136,29 +155,26 @@ pub fn parse_pcap(bytes: &[u8]) -> Result<Vec<PcapPacket>, PcapError> {
     if bytes.len() < 24 {
         return Err(PcapError::TooShort);
     }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let magic = le_u32_at(bytes, 0).ok_or(PcapError::TooShort)?;
     if magic != PCAP_MAGIC {
         return Err(PcapError::BadMagic(magic));
     }
-    let linktype = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let linktype = le_u32_at(bytes, 20).ok_or(PcapError::TooShort)?;
     if linktype != LINKTYPE_RAW {
         return Err(PcapError::BadLinktype(linktype));
     }
     let mut pos = 24;
     let mut packets = Vec::new();
     while pos < bytes.len() {
-        if pos + 16 > bytes.len() {
-            return Err(PcapError::TruncatedRecord {
-                offset: pos,
-                claimed: 16,
-                available: bytes.len() - pos,
-            });
-        }
-        let sec = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as u64;
-        let usec = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes")) as u64;
-        let incl =
-            u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
-        let orig_len = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4 bytes"));
+        let truncated_header = PcapError::TruncatedRecord {
+            offset: pos,
+            claimed: 16,
+            available: bytes.len() - pos,
+        };
+        let sec = le_u32_at(bytes, pos).ok_or(truncated_header)? as u64;
+        let usec = le_u32_at(bytes, pos + 4).ok_or(truncated_header)? as u64;
+        let incl = le_u32_at(bytes, pos + 8).ok_or(truncated_header)? as usize;
+        let orig_len = le_u32_at(bytes, pos + 12).ok_or(truncated_header)?;
         let header_at = pos;
         pos += 16;
         let Some(frame) = bytes.get(pos..pos.saturating_add(incl)) else {
@@ -172,12 +188,23 @@ pub fn parse_pcap(bytes: &[u8]) -> Result<Vec<PcapPacket>, PcapError> {
         if frame.len() < 28 || frame[0] >> 4 != 4 || frame[9] != 17 {
             continue; // not IPv4/UDP; skip
         }
+        // The frame is ≥ 28 bytes here, so these reads cannot fail; the
+        // `continue` keeps the "skip foreign frames" display-filter
+        // semantics if that guard ever drifts.
+        let (Some(src), Some(dst), Some(src_port), Some(dst_port)) = (
+            be_u32_at(frame, 12),
+            be_u32_at(frame, 16),
+            be_u16_at(frame, 20),
+            be_u16_at(frame, 22),
+        ) else {
+            continue;
+        };
         packets.push(PcapPacket {
             ts_us: sec * 1_000_000 + usec,
-            src: u32::from_be_bytes(frame[12..16].try_into().expect("4 bytes")),
-            dst: u32::from_be_bytes(frame[16..20].try_into().expect("4 bytes")),
-            src_port: u16::from_be_bytes(frame[20..22].try_into().expect("2 bytes")),
-            dst_port: u16::from_be_bytes(frame[22..24].try_into().expect("2 bytes")),
+            src,
+            dst,
+            src_port,
+            dst_port,
             orig_len,
             payload: frame[28..].to_vec(),
         });

@@ -84,10 +84,12 @@ pub fn estimate<'a, I: IntoIterator<Item = &'a TapRecord>>(
             stalls += 1;
         }
     }
-    let span = frame_starts
-        .last()
-        .expect("non-empty")
-        .since(frame_starts[0]);
+    // `frame_starts` is seeded with `times[0]` above, so first/last always
+    // exist — but prove it structurally instead of asserting it.
+    let span = match (frame_starts.first(), frame_starts.last()) {
+        (Some(&first), Some(&last)) => last.since(first),
+        _ => SimDuration::ZERO,
+    };
     let fps = if span.is_zero() {
         0.0
     } else {

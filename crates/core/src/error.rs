@@ -44,6 +44,13 @@ pub enum SimError {
         /// Which parameter.
         what: &'static str,
     },
+    /// A filesystem operation failed (missing directory, permission,
+    /// short write). The `what` names the artifact or path role, not the
+    /// OS error — supervisor reports need the site, not the errno.
+    Io {
+        /// What was being read or written (e.g. `"bench json dir"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +63,7 @@ impl fmt::Display for SimError {
                 write!(f, "{what} exceeds limit of {limit}")
             }
             SimError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+            SimError::Io { what } => write!(f, "io failure: {what}"),
         }
     }
 }
@@ -75,6 +83,10 @@ mod tests {
             limit: 42,
         };
         assert_eq!(e.to_string(), "claimed length exceeds limit of 42");
+        let e = SimError::Io {
+            what: "bench json dir",
+        };
+        assert_eq!(e.to_string(), "io failure: bench json dir");
     }
 
     #[test]

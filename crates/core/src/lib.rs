@@ -24,18 +24,26 @@
 //!   and parser of hostile bytes returns.
 //! * [`sanitizer`] — opt-in runtime invariant monitor (`VISIONSIM_SANITIZE=1`,
 //!   always on in debug builds); violations become reports, not panics.
+//! * [`trace`] — flight recorder (`VISIONSIM_TRACE=1`): bounded ring of POD
+//!   [`trace::TraceEvent`]s plus the [`span!`] timing guard.
+//! * [`metrics`] — typed metrics registry (`VISIONSIM_METRICS=1`): counters,
+//!   gauges, and log2-bucket histograms snapshotted to `metrics.json`.
 
 pub mod error;
 pub mod event;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod sanitizer;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod units;
 
 pub use error::SimError;
+pub use metrics::{Counter, Gauge, Histogram};
+pub use trace::{TraceEvent, TraceKind};
 pub use event::{EventQueue, ScheduledEvent};
 pub use par::{derive_seed, par_map, try_par_map, Cell, CellError, CellFailure};
 pub use rng::SimRng;

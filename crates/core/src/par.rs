@@ -41,6 +41,35 @@ use std::time::{Duration, Instant};
 
 use crate::rng::splitmix64;
 use crate::sanitizer;
+use crate::trace::{self, TraceKind};
+use crate::{metrics, metrics::Class};
+
+/// Cached handles into the metrics registry; obtained once so the cell
+/// loop never takes the registry lock.
+struct ParMetrics {
+    cells: metrics::Counter,
+    retries: metrics::Counter,
+    quarantined: metrics::Counter,
+    cell_wall_ns: metrics::Histogram,
+}
+
+fn par_metrics() -> &'static ParMetrics {
+    static M: OnceLock<ParMetrics> = OnceLock::new();
+    M.get_or_init(|| ParMetrics {
+        cells: metrics::counter("par/cells", Class::Sim),
+        retries: metrics::counter("par/retries", Class::Sim),
+        quarantined: metrics::counter("par/quarantined", Class::Sim),
+        cell_wall_ns: metrics::histogram("par/cell_wall_ns", Class::Wall),
+    })
+}
+
+/// Flight-recorder entry for a cell lifecycle moment. Wall-clock
+/// timestamps: supervision has no virtual clock.
+fn trace_cell(kind: TraceKind, label: &str, seed: u64, b: u64) {
+    if trace::enabled() {
+        trace::record(kind, trace::wall_ns(), trace::intern(label), seed, b, 0);
+    }
+}
 
 /// Programmatic thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -225,17 +254,31 @@ fn run_cell_inner<I, T>(
     retry: bool,
 ) -> Result<T, CellError> {
     let start = Instant::now();
+    trace_cell(TraceKind::CellStart, &cell.label, cell.seed, 0);
+    par_metrics().cells.inc();
     let outcome = match attempt(cell, f) {
-        Ok(t) => return Ok(t),
+        Ok(t) => {
+            par_metrics().cell_wall_ns.observe(start.elapsed().as_nanos() as u64);
+            return Ok(t);
+        }
         Err(first) if !retry => Err(first),
-        Err(_first) => attempt(cell, f),
+        Err(_first) => {
+            trace_cell(TraceKind::CellRetry, &cell.label, cell.seed, 0);
+            par_metrics().retries.inc();
+            attempt(cell, f)
+        }
     };
-    outcome.map_err(|payload| CellError {
-        label: cell.label.clone(),
-        seed: cell.seed,
-        elapsed: start.elapsed(),
-        payload,
-        kind: CellFailure::Panicked,
+    par_metrics().cell_wall_ns.observe(start.elapsed().as_nanos() as u64);
+    outcome.map_err(|payload| {
+        trace_cell(TraceKind::CellQuarantine, &cell.label, cell.seed, 0);
+        par_metrics().quarantined.inc();
+        CellError {
+            label: cell.label.clone(),
+            seed: cell.seed,
+            elapsed: start.elapsed(),
+            payload,
+            kind: CellFailure::Panicked,
+        }
     })
 }
 
@@ -322,6 +365,8 @@ where
                 }
                 let cell = &cells[i];
                 let start = Instant::now();
+                trace_cell(TraceKind::CellStart, &cell.label, cell.seed, 0);
+                par_metrics().cells.inc();
                 *running[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(start);
                 let first = attempt(cell, f);
                 let outcome = match first {
@@ -348,6 +393,8 @@ where
                             *running[i].lock().unwrap_or_else(|e| e.into_inner()) = None;
                             continue;
                         }
+                        trace_cell(TraceKind::CellRetry, &cell.label, cell.seed, 0);
+                        par_metrics().retries.inc();
                         attempt(cell, f).map_err(|payload| CellError {
                             label: cell.label.clone(),
                             seed: cell.seed,
@@ -358,13 +405,18 @@ where
                     }
                 };
                 *running[i].lock().unwrap_or_else(|e| e.into_inner()) = None;
+                par_metrics().cell_wall_ns.observe(start.elapsed().as_nanos() as u64);
                 let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
                 // The watchdog may have quarantined the cell while it ran;
                 // a late result is discarded so reports stay consistent.
                 if matches!(*slot, Slot::Pending) {
                     *slot = match outcome {
                         Ok(t) => Slot::Done(t),
-                        Err(e) => Slot::Failed(e),
+                        Err(e) => {
+                            trace_cell(TraceKind::CellQuarantine, &cell.label, cell.seed, 0);
+                            par_metrics().quarantined.inc();
+                            Slot::Failed(e)
+                        }
                     };
                 }
             });
@@ -382,6 +434,8 @@ where
                     }
                     let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
                     if matches!(*slot, Slot::Pending) {
+                        trace_cell(TraceKind::CellQuarantine, &cells[i].label, cells[i].seed, 1);
+                        par_metrics().quarantined.inc();
                         *slot = Slot::Failed(CellError {
                             label: cells[i].label.clone(),
                             seed: cells[i].seed,

@@ -190,10 +190,29 @@ impl Percentiles {
         }
     }
 
-    /// The `p`-th percentile (`p` in `[0, 100]`) with linear interpolation.
-    /// Returns NaN on an empty set.
+    /// The `p`-th percentile with linear interpolation. `p` outside
+    /// `[0, 100]` (including NaN) is clamped into range — reported as a
+    /// sanitizer violation, never a panic: percentile requests reach this
+    /// code from experiment configs, and a bad config must not take down
+    /// a supervised cell. Returns NaN on an empty set.
     pub fn percentile(&mut self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let p = if (0.0..=100.0).contains(&p) {
+            p
+        } else {
+            if sanitizer::enabled() {
+                sanitizer::report(
+                    "stats/percentile-range",
+                    format!("percentile {p} clamped into [0, 100]"),
+                );
+            }
+            // NaN comparisons are all false, so a NaN `p` lands here;
+            // clamp maps it to 0 rather than propagating into the rank.
+            if p > 100.0 {
+                100.0
+            } else {
+                0.0
+            }
+        };
         if self.samples.is_empty() {
             return f64::NAN;
         }
@@ -203,8 +222,12 @@ impl Percentiles {
             return self.samples[0];
         }
         let rank = p / 100.0 * (n - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
+        // Both indices are clamped defensively: rank arithmetic at
+        // p = 100 lands exactly on n-1 in every IEEE rounding mode we
+        // know of, but an out-of-bounds read here would be silent UB-by-
+        // panic in the middle of a figure sweep, so make it impossible.
+        let lo = (rank.floor() as usize).min(n - 1);
+        let hi = (rank.ceil() as usize).min(n - 1);
         let frac = rank - lo as f64;
         self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
     }
@@ -284,6 +307,49 @@ impl fmt::Display for BoxplotSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_of_empty_set_is_nan_not_panic() {
+        let mut p = Percentiles::new();
+        assert!(p.percentile(0.0).is_nan());
+        assert!(p.percentile(50.0).is_nan());
+        assert!(p.percentile(100.0).is_nan());
+        assert!(p.median().is_nan());
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let mut p = Percentiles::new();
+        p.push(42.5);
+        assert_eq!(p.percentile(0.0), 42.5);
+        assert_eq!(p.percentile(50.0), 42.5);
+        assert_eq!(p.percentile(100.0), 42.5);
+    }
+
+    #[test]
+    fn percentile_endpoints_hit_min_and_max() {
+        let mut p = Percentiles::new();
+        for x in [3.0, 1.0, 4.0, 1.5, 9.0, 2.6] {
+            p.push(x);
+        }
+        assert_eq!(p.percentile(0.0), 1.0);
+        assert_eq!(p.percentile(100.0), 9.0);
+        // Near-100 values must interpolate inside the range, never index
+        // past the last retained sample.
+        let near = p.percentile(99.999999999);
+        assert!((1.0..=9.0).contains(&near));
+    }
+
+    #[test]
+    fn out_of_range_percentile_clamps_instead_of_panicking() {
+        let mut p = Percentiles::new();
+        for x in [1.0, 2.0, 3.0] {
+            p.push(x);
+        }
+        assert_eq!(p.percentile(-5.0), 1.0);
+        assert_eq!(p.percentile(150.0), 3.0);
+        assert_eq!(p.percentile(f64::NAN), 1.0);
+    }
 
     #[test]
     fn streaming_matches_direct_computation() {

@@ -1,0 +1,713 @@
+//! The flight recorder: a bounded ring buffer of POD trace events.
+//!
+//! The simulator's artifacts are end-state summaries; when a chaos cell
+//! quarantines or a golden checksum drifts, the final numbers say nothing
+//! about *what the simulation was doing*. This module records the load-
+//! bearing moments of a run — packet send/deliver/drop, rendering-mode
+//! switches, fault onset/recovery, SFU failover, cell lifecycle, timing
+//! spans — into a fixed-capacity ring that overwrites its oldest entries,
+//! exactly like an aircraft flight recorder: the tail of history leading
+//! up to an incident is always available, and a healthy multi-hour run
+//! costs a bounded amount of memory.
+//!
+//! # Steady-state allocation discipline
+//!
+//! The ring is preallocated to [`capacity`] events the moment tracing is
+//! enabled; [`record`] writes a [`TraceEvent`] (a `Copy` POD) into the
+//! next slot under a mutex and never allocates. Site labels are interned
+//! once into a side table ([`intern`]) — hot-path callers intern their
+//! static site strings at setup time and pass the integer id per event.
+//! The `alloc_gate` integration test pins the datapath's per-hop budget
+//! with tracing forced **on** as well as off.
+//!
+//! Enablement, highest priority first:
+//! 1. a programmatic override set with [`force`] (tests),
+//! 2. the `VISIONSIM_TRACE` environment variable (`1` on, `0`/unset off).
+//!
+//! Disabled tracing costs one relaxed atomic load per [`record`] call.
+//!
+//! # Ordering
+//!
+//! Every event carries a process-global `seq` stamp. Supervised cells run
+//! on multiple threads, so ring insertion order interleaves arbitrarily;
+//! consumers that want a stable timeline sort by `(time_ns, seq)` — the
+//! `trace_dump` binary and [`snapshot_sorted`] do exactly that.
+
+use crate::error::SimError;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// What a [`TraceEvent`] describes. The discriminant is the on-disk byte.
+#[repr(u8)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceKind {
+    /// A packet entered the network. `a` = packet seq, `b` = src addr,
+    /// `c` = dst addr.
+    PacketSend = 0,
+    /// A packet reached its destination inbox. `a` = packet seq,
+    /// `b` = destination node index.
+    PacketDeliver = 1,
+    /// A packet was dropped (queue or impairment). `a` = packet seq,
+    /// `b` = link index.
+    PacketDrop = 2,
+    /// A participant's rendering mode changed. `a` = participant index,
+    /// `b` = mode (0 spatial, 1 2D-fallback).
+    ModeSwitch = 3,
+    /// A scheduled fault fired. `site` names the fault kind,
+    /// `a` = participant index.
+    FaultOnset = 4,
+    /// A scheduled fault cleared. `site` names the fault kind,
+    /// `a` = participant index.
+    FaultRecovery = 5,
+    /// The session reattached to a new SFU site. `site` names the site.
+    SfuFailover = 6,
+    /// A supervised cell started an attempt. `site` = cell label,
+    /// `a` = derived seed.
+    CellStart = 7,
+    /// A supervised cell is being retried after a failure. `site` = cell
+    /// label, `a` = derived seed.
+    CellRetry = 8,
+    /// A supervised cell was quarantined. `site` = cell label,
+    /// `a` = derived seed, `b` = 0 panic / 1 timeout.
+    CellQuarantine = 9,
+    /// A timing span opened. `site` = span label, `a` = seed.
+    SpanEnter = 10,
+    /// A timing span closed. `site` = span label, `a` = seed,
+    /// `c` = wall nanoseconds spent inside the span.
+    SpanExit = 11,
+}
+
+impl TraceKind {
+    /// Stable human-readable name (what `trace_dump` prints).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::PacketSend => "packet_send",
+            TraceKind::PacketDeliver => "packet_deliver",
+            TraceKind::PacketDrop => "packet_drop",
+            TraceKind::ModeSwitch => "mode_switch",
+            TraceKind::FaultOnset => "fault_onset",
+            TraceKind::FaultRecovery => "fault_recovery",
+            TraceKind::SfuFailover => "sfu_failover",
+            TraceKind::CellStart => "cell_start",
+            TraceKind::CellRetry => "cell_retry",
+            TraceKind::CellQuarantine => "cell_quarantine",
+            TraceKind::SpanEnter => "span_enter",
+            TraceKind::SpanExit => "span_exit",
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<TraceKind> {
+        Some(match b {
+            0 => TraceKind::PacketSend,
+            1 => TraceKind::PacketDeliver,
+            2 => TraceKind::PacketDrop,
+            3 => TraceKind::ModeSwitch,
+            4 => TraceKind::FaultOnset,
+            5 => TraceKind::FaultRecovery,
+            6 => TraceKind::SfuFailover,
+            7 => TraceKind::CellStart,
+            8 => TraceKind::CellRetry,
+            9 => TraceKind::CellQuarantine,
+            10 => TraceKind::SpanEnter,
+            11 => TraceKind::SpanExit,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded moment. Plain `Copy` data: writing one into the ring moves
+/// 56 bytes and touches no heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time in nanoseconds. Simulation events carry **virtual**
+    /// time; harness events (cells, spans) carry wall nanoseconds since
+    /// the process's trace epoch.
+    pub time_ns: u64,
+    /// Process-global order stamp; `(time_ns, seq)` is a total order.
+    pub seq: u64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Interned label id ([`intern`] / [`site_name`]); 0 means "no label".
+    pub site: u32,
+    /// Kind-specific operand (see [`TraceKind`] docs).
+    pub a: u64,
+    /// Kind-specific operand.
+    pub b: u64,
+    /// Kind-specific operand.
+    pub c: u64,
+}
+
+/// Bytes one event occupies in the [`encode`]d binary image.
+const EVENT_WIRE_BYTES: usize = 45;
+/// Magic prefix of a `trace.bin` image.
+const TRACE_MAGIC: &[u8; 8] = b"VSTRACE1";
+
+/// Programmatic override: 0 = unset, 1 = forced off, 2 = forced on.
+static FORCE: AtomicU8 = AtomicU8::new(0);
+/// Process-global order stamp source.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+/// Events recorded since process start / last [`reset`] (including any
+/// overwritten in the ring).
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Slot the next event lands in.
+    head: usize,
+    /// Live events (≤ `buf.capacity()` once warmed).
+    len: usize,
+    /// Events overwritten because the ring was full.
+    overwritten: u64,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring {
+    buf: Vec::new(),
+    head: 0,
+    len: 0,
+    overwritten: 0,
+});
+
+/// Interned site labels; id 0 is the empty label.
+static SITES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn env_default() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        matches!(
+            std::env::var("VISIONSIM_TRACE").as_deref().map(str::trim),
+            Ok("1") | Ok("on") | Ok("true")
+        )
+    })
+}
+
+/// Ring capacity in events: `VISIONSIM_TRACE_CAP`, default 65 536
+/// (~3.4 MB resident when enabled).
+pub fn capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("VISIONSIM_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(65_536)
+    })
+}
+
+/// Whether the recorder is currently capturing.
+pub fn enabled() -> bool {
+    match FORCE.load(Ordering::Relaxed) {
+        1 => return false,
+        2 => return true,
+        _ => {}
+    }
+    env_default()
+}
+
+fn ensure_ring(ring: &mut Ring) {
+    if ring.buf.capacity() == 0 {
+        ring.buf.reserve_exact(capacity());
+    }
+}
+
+/// Force tracing on or off for this process (`None` restores the env
+/// default). Forcing **on** preallocates the ring so subsequent hot-path
+/// [`record`] calls stay allocation-free. Process-global, like
+/// [`crate::par::set_threads`]; tests that flip it should hold
+/// [`crate::par::override_guard`].
+pub fn force(on: Option<bool>) {
+    FORCE.store(
+        match on {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+        Ordering::Relaxed,
+    );
+    if on == Some(true) {
+        ensure_ring(&mut RING.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+}
+
+/// Intern a site label, returning its stable id for this process. The
+/// empty string is always id 0. Interning may allocate — call it at setup
+/// time, not per event.
+pub fn intern(site: &str) -> u32 {
+    if site.is_empty() {
+        return 0;
+    }
+    let mut sites = SITES.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(pos) = sites.iter().position(|s| s == site) {
+        return pos as u32 + 1;
+    }
+    sites.push(site.to_string());
+    sites.len() as u32
+}
+
+/// The label behind an interned id (empty string for 0 or unknown ids).
+pub fn site_name(id: u32) -> String {
+    if id == 0 {
+        return String::new();
+    }
+    let sites = SITES.lock().unwrap_or_else(|e| e.into_inner());
+    sites
+        .get(id as usize - 1)
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// Record one event. No-op when tracing is disabled; when enabled, the
+/// write is a mutex-guarded POD store into the preallocated ring — no
+/// heap allocation in steady state.
+pub fn record(kind: TraceKind, time_ns: u64, site: u32, a: u64, b: u64, c: u64) {
+    if !enabled() {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    TOTAL.fetch_add(1, Ordering::Relaxed);
+    let ev = TraceEvent {
+        time_ns,
+        seq,
+        kind,
+        site,
+        a,
+        b,
+        c,
+    };
+    let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    ensure_ring(&mut ring);
+    let cap = ring.buf.capacity();
+    if ring.len < cap {
+        // `head` trails `len` until the first wrap, so this is a push.
+        ring.buf.push(ev);
+        ring.len += 1;
+        ring.head = ring.len % cap;
+    } else {
+        let head = ring.head;
+        ring.buf[head] = ev;
+        ring.head = (head + 1) % cap;
+        ring.overwritten += 1;
+    }
+}
+
+/// Events recorded since process start or the last [`reset`], including
+/// any the ring has already overwritten.
+pub fn recorded_total() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// Events lost to ring overwrite so far.
+pub fn overwritten() -> u64 {
+    RING.lock().unwrap_or_else(|e| e.into_inner()).overwritten
+}
+
+/// Drain the ring, returning the retained events in insertion order
+/// (oldest surviving first).
+pub fn take() -> Vec<TraceEvent> {
+    let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::with_capacity(ring.len);
+    if ring.len > 0 {
+        let cap = ring.buf.capacity();
+        let start = if ring.len < cap { 0 } else { ring.head };
+        for i in 0..ring.len {
+            out.push(ring.buf[(start + i) % ring.buf.len()]);
+        }
+    }
+    ring.buf.clear();
+    ring.head = 0;
+    ring.len = 0;
+    out
+}
+
+/// Copy of the retained events sorted by `(time_ns, seq)` — the stable
+/// timeline order. The ring is left untouched.
+pub fn snapshot_sorted() -> Vec<TraceEvent> {
+    let mut events = {
+        let ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(ring.len);
+        if ring.len > 0 {
+            let cap = ring.buf.capacity();
+            let start = if ring.len < cap { 0 } else { ring.head };
+            for i in 0..ring.len {
+                out.push(ring.buf[(start + i) % ring.buf.len()]);
+            }
+        }
+        out
+    };
+    events.sort_by_key(|e| (e.time_ns, e.seq));
+    events
+}
+
+/// Drop every retained event and reset the counters (tests and the
+/// per-artifact harness boundary). The site intern table is kept — ids
+/// stay stable for the life of the process.
+pub fn reset() {
+    let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    ring.buf.clear();
+    ring.head = 0;
+    ring.len = 0;
+    ring.overwritten = 0;
+    TOTAL.store(0, Ordering::Relaxed);
+}
+
+/// Nanoseconds since the process's trace epoch (first call). Wall time,
+/// for harness-side events that have no virtual clock.
+pub fn wall_ns() -> u64 {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
+/// Serialize events (plus the site table entries they reference) into the
+/// `trace.bin` image `trace_dump` reads.
+pub fn encode(events: &[TraceEvent]) -> Vec<u8> {
+    let sites = SITES.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    encode_with_sites(events, &sites)
+}
+
+/// [`encode`] with an explicit site table (decode → re-encode round trips).
+pub fn encode_with_sites(events: &[TraceEvent], sites: &[String]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + events.len() * EVENT_WIRE_BYTES);
+    out.extend_from_slice(TRACE_MAGIC);
+    out.extend_from_slice(&(sites.len() as u32).to_le_bytes());
+    for s in sites {
+        let bytes = s.as_bytes();
+        out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    for e in events {
+        out.extend_from_slice(&e.time_ns.to_le_bytes());
+        out.extend_from_slice(&e.seq.to_le_bytes());
+        out.push(e.kind as u8);
+        out.extend_from_slice(&e.site.to_le_bytes());
+        out.extend_from_slice(&e.a.to_le_bytes());
+        out.extend_from_slice(&e.b.to_le_bytes());
+        out.extend_from_slice(&e.c.to_le_bytes());
+    }
+    out
+}
+
+fn take_bytes<'a>(bytes: &'a [u8], pos: &mut usize, n: usize, what: &'static str) -> Result<&'a [u8], SimError> {
+    let end = pos.checked_add(n).ok_or(SimError::Truncated { what })?;
+    let slice = bytes.get(*pos..end).ok_or(SimError::Truncated { what })?;
+    *pos = end;
+    Ok(slice)
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(b);
+    u64::from_le_bytes(buf)
+}
+
+/// Parse a `trace.bin` image back into its site table and events.
+/// Hostile or truncated input returns a [`SimError`], never a panic.
+pub fn decode(bytes: &[u8]) -> Result<(Vec<String>, Vec<TraceEvent>), SimError> {
+    let mut pos = 0usize;
+    let magic = take_bytes(bytes, &mut pos, 8, "trace magic")?;
+    if magic != TRACE_MAGIC {
+        return Err(SimError::Corrupt {
+            what: "trace magic",
+        });
+    }
+    let site_count = u32::from_le_bytes(
+        take_bytes(bytes, &mut pos, 4, "trace site count")?
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    // A claimed count beyond what the remaining bytes could possibly hold
+    // (2 bytes minimum per entry) is hostile, not just truncated.
+    if site_count > bytes.len().saturating_sub(pos) / 2 {
+        return Err(SimError::LimitExceeded {
+            what: "trace site count",
+            limit: (bytes.len() / 2) as u64,
+        });
+    }
+    let mut sites = Vec::with_capacity(site_count);
+    for _ in 0..site_count {
+        let len = u16::from_le_bytes(
+            take_bytes(bytes, &mut pos, 2, "trace site length")?
+                .try_into()
+                .expect("2 bytes"),
+        ) as usize;
+        let raw = take_bytes(bytes, &mut pos, len, "trace site bytes")?;
+        let s = std::str::from_utf8(raw).map_err(|_| SimError::Corrupt {
+            what: "trace site utf-8",
+        })?;
+        sites.push(s.to_string());
+    }
+    let count = le_u64(take_bytes(bytes, &mut pos, 8, "trace event count")?) as usize;
+    let remaining = bytes.len() - pos;
+    if count != remaining / EVENT_WIRE_BYTES || !remaining.is_multiple_of(EVENT_WIRE_BYTES) {
+        return Err(SimError::Inconsistent {
+            what: "trace event count vs body length",
+        });
+    }
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        let time_ns = le_u64(take_bytes(bytes, &mut pos, 8, "trace event")?);
+        let seq = le_u64(take_bytes(bytes, &mut pos, 8, "trace event")?);
+        let kind_byte = take_bytes(bytes, &mut pos, 1, "trace event")?[0];
+        let kind = TraceKind::from_u8(kind_byte).ok_or(SimError::Inconsistent {
+            what: "trace event kind",
+        })?;
+        let site = u32::from_le_bytes(
+            take_bytes(bytes, &mut pos, 4, "trace event")?
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if site as usize > sites.len() {
+            return Err(SimError::Inconsistent {
+                what: "trace event site id",
+            });
+        }
+        let a = le_u64(take_bytes(bytes, &mut pos, 8, "trace event")?);
+        let b = le_u64(take_bytes(bytes, &mut pos, 8, "trace event")?);
+        let c = le_u64(take_bytes(bytes, &mut pos, 8, "trace event")?);
+        events.push(TraceEvent {
+            time_ns,
+            seq,
+            kind,
+            site,
+            a,
+            b,
+            c,
+        });
+    }
+    Ok((sites, events))
+}
+
+/// RAII timing span: records [`TraceKind::SpanEnter`] on construction and
+/// [`TraceKind::SpanExit`] (carrying the wall nanoseconds spent) on drop,
+/// and observes the duration into the `span/wall_ns` metrics histogram.
+/// Constructed via [`crate::span!`].
+pub struct Span {
+    site: u32,
+    seed: u64,
+    started: std::time::Instant,
+    live: bool,
+}
+
+impl Span {
+    /// Open a span. When tracing and metrics are both disabled this is a
+    /// cheap no-op shell (two atomic loads, no interning).
+    pub fn enter(site: &str, seed: u64) -> Span {
+        let live = enabled() || crate::metrics::enabled();
+        let site = if live { intern(site) } else { 0 };
+        if enabled() {
+            record(TraceKind::SpanEnter, wall_ns(), site, seed, 0, 0);
+        }
+        Span {
+            site,
+            seed,
+            started: std::time::Instant::now(),
+            live,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let spent = self.started.elapsed().as_nanos() as u64;
+        if enabled() {
+            record(TraceKind::SpanExit, wall_ns(), self.site, self.seed, 0, spent);
+        }
+        crate::metrics::span_wall_ns().observe(spent);
+    }
+}
+
+/// Open a [`trace::Span`](Span) guard: `let _s = span!("figure4/cell", seed);`
+#[macro_export]
+macro_rules! span {
+    ($site:expr, $seed:expr) => {
+        $crate::trace::Span::enter($site, $seed)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::override_guard;
+
+    #[test]
+    fn disabled_recorder_captures_nothing() {
+        let _g = override_guard();
+        force(Some(false));
+        reset();
+        record(TraceKind::PacketSend, 1, 0, 1, 2, 3);
+        assert_eq!(recorded_total(), 0);
+        assert!(take().is_empty());
+        force(None);
+    }
+
+    #[test]
+    fn record_take_round_trip_preserves_fields() {
+        let _g = override_guard();
+        force(Some(true));
+        reset();
+        let site = intern("test/site");
+        record(TraceKind::ModeSwitch, 42, site, 7, 1, 0);
+        let events = take();
+        force(None);
+        assert_eq!(events.len(), 1);
+        let e = events[0];
+        assert_eq!(e.time_ns, 42);
+        assert_eq!(e.kind, TraceKind::ModeSwitch);
+        assert_eq!(site_name(e.site), "test/site");
+        assert_eq!((e.a, e.b, e.c), (7, 1, 0));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let _g = override_guard();
+        force(Some(true));
+        reset();
+        let cap = capacity();
+        for i in 0..(cap as u64 + 10) {
+            record(TraceKind::PacketSend, i, 0, i, 0, 0);
+        }
+        let events = take();
+        let total = recorded_total();
+        let lost = overwritten();
+        reset();
+        force(None);
+        assert_eq!(events.len(), cap);
+        assert_eq!(total, cap as u64 + 10);
+        assert_eq!(lost, 10);
+        // Oldest surviving event is the 11th recorded.
+        assert_eq!(events[0].a, 10);
+        assert_eq!(events[cap - 1].a, cap as u64 + 9);
+    }
+
+    #[test]
+    fn snapshot_sorts_by_time_then_seq() {
+        let _g = override_guard();
+        force(Some(true));
+        reset();
+        record(TraceKind::PacketSend, 30, 0, 0, 0, 0);
+        record(TraceKind::PacketSend, 10, 0, 1, 0, 0);
+        record(TraceKind::PacketSend, 10, 0, 2, 0, 0);
+        let sorted = snapshot_sorted();
+        reset();
+        force(None);
+        let times: Vec<u64> = sorted.iter().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![10, 10, 30]);
+        // Same-instant events keep their recording order via seq.
+        assert!(sorted[0].seq < sorted[1].seq);
+    }
+
+    #[test]
+    fn intern_is_stable_and_reversible() {
+        let a = intern("trace-test/alpha");
+        let b = intern("trace-test/beta");
+        assert_ne!(a, b);
+        assert_eq!(a, intern("trace-test/alpha"));
+        assert_eq!(site_name(a), "trace-test/alpha");
+        assert_eq!(intern(""), 0);
+        assert_eq!(site_name(0), "");
+    }
+
+    #[test]
+    fn binary_image_round_trips() {
+        let site = intern("trace-test/encode");
+        let events = vec![
+            TraceEvent {
+                time_ns: 5,
+                seq: 0,
+                kind: TraceKind::CellStart,
+                site,
+                a: 99,
+                b: 0,
+                c: 0,
+            },
+            TraceEvent {
+                time_ns: 6,
+                seq: 1,
+                kind: TraceKind::SpanExit,
+                site: 0,
+                a: 1,
+                b: 2,
+                c: 3,
+            },
+        ];
+        let image = encode(&events);
+        let (sites, decoded) = decode(&image).expect("own image decodes");
+        assert_eq!(decoded, events);
+        assert_eq!(sites[site as usize - 1], "trace-test/encode");
+    }
+
+    #[test]
+    fn hostile_images_error_instead_of_panicking() {
+        assert_eq!(
+            decode(b"short"),
+            Err(SimError::Truncated {
+                what: "trace magic"
+            })
+        );
+        assert_eq!(
+            decode(b"NOTTRACE\x00\x00\x00\x00"),
+            Err(SimError::Corrupt {
+                what: "trace magic"
+            })
+        );
+        // Hostile site count.
+        let mut image = Vec::new();
+        image.extend_from_slice(TRACE_MAGIC);
+        image.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&image),
+            Err(SimError::LimitExceeded { .. })
+        ));
+        // Truncated event body.
+        let good = encode(&[TraceEvent {
+            time_ns: 1,
+            seq: 0,
+            kind: TraceKind::PacketSend,
+            site: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+        }]);
+        assert!(decode(&good[..good.len() - 3]).is_err());
+        // Unknown kind byte.
+        let mut bad = good.clone();
+        let kind_at = bad.len() - EVENT_WIRE_BYTES + 16;
+        bad[kind_at] = 200;
+        assert_eq!(
+            decode(&bad),
+            Err(SimError::Inconsistent {
+                what: "trace event kind"
+            })
+        );
+    }
+
+    #[test]
+    fn span_records_enter_and_exit() {
+        let _g = override_guard();
+        force(Some(true));
+        reset();
+        {
+            let _s = crate::span!("trace-test/span", 1234);
+        }
+        let events = take();
+        reset();
+        force(None);
+        let enter = events
+            .iter()
+            .find(|e| e.kind == TraceKind::SpanEnter)
+            .expect("enter recorded");
+        let exit = events
+            .iter()
+            .find(|e| e.kind == TraceKind::SpanExit)
+            .expect("exit recorded");
+        assert_eq!(site_name(enter.site), "trace-test/span");
+        assert_eq!(enter.a, 1234);
+        assert_eq!(exit.site, enter.site);
+        assert!(exit.time_ns >= enter.time_ns);
+    }
+}

@@ -1,7 +1,8 @@
 //! Regenerate every table and figure of the paper in one supervised run.
 //!
 //! ```sh
-//! cargo run --release -p visionsim-experiments --bin regenerate [seed] [--resume]
+//! cargo run --release -p visionsim-experiments --bin regenerate \
+//!     [seed] [--resume] [--only <artifact>]
 //! ```
 //!
 //! Each artifact runs in a panic-isolated cell and lands in
@@ -17,6 +18,11 @@
 //! sanitizer on or off; wall-clock timings go only to stdout and the
 //! manifest. The run ends with a sequential-vs-parallel speedup line for
 //! the Figure 6 sweep (stdout only, see `core::par`).
+//!
+//! With `VISIONSIM_METRICS=1` each artifact also writes a deterministic
+//! `<name>.metrics.json` sidecar; with `VISIONSIM_TRACE=1` it writes a
+//! `<name>.trace.bin` flight-recorder image readable by `trace_dump`.
+//! `--only <artifact>` runs a single artifact (the CI trace smoke).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -26,14 +32,27 @@ use visionsim_experiments::figure6;
 fn main() -> ExitCode {
     let mut seed = 2024u64;
     let mut resume = false;
-    for arg in std::env::args().skip(1) {
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--resume" => resume = true,
+            "--only" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--only requires an artifact name");
+                    return ExitCode::from(2);
+                };
+                if !harness::registry().iter().any(|s| s.name == name) {
+                    eprintln!("unknown artifact {name:?} (see harness::registry)");
+                    return ExitCode::from(2);
+                }
+                only = Some(name);
+            }
             other => {
                 if let Ok(s) = other.parse() {
                     seed = s;
                 } else {
-                    eprintln!("usage: regenerate [seed] [--resume]");
+                    eprintln!("usage: regenerate [seed] [--resume] [--only <artifact>]");
                     return ExitCode::from(2);
                 }
             }
@@ -42,6 +61,7 @@ fn main() -> ExitCode {
 
     let mut cfg = HarnessConfig::new(seed);
     cfg.resume = resume;
+    cfg.only = only.clone();
     let wall = Instant::now();
     println!(
         "=== visionsim: regenerating all paper artifacts (seed {seed}, {} threads{}) ===\n",
@@ -62,6 +82,13 @@ fn main() -> ExitCode {
     }
 
     let par_total = wall.elapsed().as_secs_f64();
+
+    // A single-artifact run is a smoke, not a full regeneration: skip the
+    // speedup epilogue.
+    if only.is_some() {
+        println!("=== done in {par_total:.1}s ===");
+        return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
 
     // Speedup check: re-run the Figure 6 sweep pinned to one worker and
     // compare against the parallel wall-clock just measured. Stdout-only;

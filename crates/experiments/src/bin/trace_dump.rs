@@ -1,0 +1,127 @@
+//! Render a flight-recorder `trace.bin` as a human-readable timeline.
+//!
+//! ```sh
+//! cargo run --release -p visionsim-experiments --bin trace_dump -- \
+//!     artifacts/figure4.trace.bin
+//! ```
+//!
+//! Events print in `(time_ns, seq)` order — the same total order the
+//! recorder assigns — so dumps of the same artifact are identical at any
+//! thread count. A per-kind count summary follows the timeline. Decode
+//! errors (truncated, corrupt, or hostile images) exit non-zero with the
+//! `SimError` message; they never panic.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::process::ExitCode;
+use visionsim_core::trace::{self, TraceEvent, TraceKind};
+
+/// One rendered timeline line: time, kind, label, operands.
+fn render_line(ev: &TraceEvent, sites: &[String]) -> String {
+    let label = if ev.site == 0 {
+        ""
+    } else {
+        sites
+            .get(ev.site as usize - 1)
+            .map(String::as_str)
+            .unwrap_or("<unknown-site>")
+    };
+    let operands = match ev.kind {
+        TraceKind::PacketSend => format!("seq={} src={} dst={}", ev.a, ev.b, ev.c),
+        TraceKind::PacketDeliver => format!("seq={} node={}", ev.a, ev.b),
+        TraceKind::PacketDrop => format!("seq={} link={}", ev.a, ev.b),
+        TraceKind::ModeSwitch => format!(
+            "participant={} mode={}",
+            ev.a,
+            if ev.b == 0 { "spatial" } else { "2d-fallback" }
+        ),
+        TraceKind::FaultOnset | TraceKind::FaultRecovery => {
+            format!("participant={}", ev.a)
+        }
+        TraceKind::SfuFailover => format!("affected={}", ev.a),
+        TraceKind::CellStart | TraceKind::SpanEnter | TraceKind::SpanExit => {
+            format!("seed={}", ev.a)
+        }
+        TraceKind::CellRetry => format!("seed={} attempt={}", ev.a, ev.b),
+        TraceKind::CellQuarantine => format!(
+            "seed={}{}",
+            ev.a,
+            if ev.b == 1 { " (watchdog)" } else { "" }
+        ),
+    };
+    if label.is_empty() {
+        format!("{:>16} ns  #{:<8} {:<16} {}", ev.time_ns, ev.seq, ev.kind.name(), operands)
+    } else {
+        format!(
+            "{:>16} ns  #{:<8} {:<16} [{}] {}",
+            ev.time_ns,
+            ev.seq,
+            ev.kind.name(),
+            label,
+            operands
+        )
+    }
+}
+
+fn dump(
+    out: &mut impl Write,
+    path: &str,
+    sites: &[String],
+    events: &[TraceEvent],
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "trace {path}: {} event(s), {} site label(s)",
+        events.len(),
+        sites.len()
+    )?;
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for ev in events {
+        *by_kind.entry(ev.kind.name()).or_insert(0) += 1;
+        writeln!(out, "{}", render_line(ev, sites))?;
+    }
+    if !events.is_empty() {
+        writeln!(out, "\nper-kind counts:")?;
+        for (kind, count) in &by_kind {
+            writeln!(out, "  {kind:<16} {count}")?;
+        }
+    }
+    out.flush()
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_dump <trace.bin>");
+        return ExitCode::from(2);
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("trace_dump: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (sites, mut events) = match trace::decode(&bytes) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            eprintln!("trace_dump: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // (time, seq) is the recorder's total order; decoding preserves
+    // insertion order, which can interleave across threads.
+    events.sort_unstable_by_key(|ev| (ev.time_ns, ev.seq));
+
+    let stdout = std::io::stdout().lock();
+    let mut out = std::io::BufWriter::new(stdout);
+    match dump(&mut out, &path, &sites, &events) {
+        Ok(()) => ExitCode::SUCCESS,
+        // `trace_dump … | head` closes the pipe mid-dump; that is the
+        // reader saying "enough", not a failure.
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_dump: write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

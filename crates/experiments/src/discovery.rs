@@ -104,11 +104,12 @@ pub fn run(sessions_per_provider: usize, secs: u64, seed: u64) -> Discovery {
             .peers(&out.geodb)
             .into_iter()
             .filter(|peer| peer.org.as_deref() == Some(provider_name.as_str()))
-            .map(|peer| {
-                (
-                    peer.city.clone().expect("registered server"),
-                    peer.region.expect("registered server"),
-                )
+            .filter_map(|peer| {
+                // A peer matching the provider org should always carry a
+                // registered city/region, but discovery reads whatever the
+                // geo registry holds — an unregistered entry is skipped,
+                // not a panic in the middle of the sweep.
+                Some((peer.city.clone()?, peer.region?))
             })
             .collect();
         (provider, initiator_region, seen)

@@ -29,6 +29,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use visionsim_core::par::{run_cell, Cell, CellError};
+use visionsim_core::{metrics, trace};
 
 /// One registered paper artifact.
 pub struct ArtifactSpec {
@@ -333,11 +334,13 @@ pub struct HarnessConfig {
     pub dir: PathBuf,
     /// Echo each artifact's text to stdout as it lands.
     pub echo: bool,
+    /// Run only the named artifact (CI smoke; `--only <name>`).
+    pub only: Option<String>,
 }
 
 impl HarnessConfig {
     /// Defaults: given seed, no resume, `artifacts/` or the
-    /// `VISIONSIM_ARTIFACT_DIR` override, echo on.
+    /// `VISIONSIM_ARTIFACT_DIR` override, echo on, all artifacts.
     pub fn new(seed: u64) -> Self {
         HarnessConfig {
             seed,
@@ -346,6 +349,7 @@ impl HarnessConfig {
                 .map(PathBuf::from)
                 .unwrap_or_else(|_| PathBuf::from("artifacts")),
             echo: true,
+            only: None,
         }
     }
 }
@@ -395,6 +399,11 @@ pub fn run_all(cfg: &HarnessConfig) -> Vec<ArtifactOutcome> {
     let mut outcomes = Vec::new();
 
     for spec in &specs {
+        if let Some(only) = &cfg.only {
+            if only != spec.name {
+                continue;
+            }
+        }
         let path = cfg.dir.join(format!("{}.txt", spec.name));
         // Resume: trust the file only if the prior manifest (same seed)
         // has a checksum and the bytes on disk still match it.
@@ -419,10 +428,17 @@ pub fn run_all(cfg: &HarnessConfig) -> Vec<ArtifactOutcome> {
             }
         }
 
+        // Observability boundary: each artifact gets a clean registry and
+        // ring, so its `metrics.json`/`trace.bin` describe that artifact
+        // alone. No-ops (beyond zeroing) when the layer is disabled.
+        metrics::reset();
+        trace::reset();
         let start = Instant::now();
         let cell = Cell::new(spec.name, cfg.seed, ());
         let fail_this = inject.as_deref() == Some(spec.name);
+        let span_label = format!("{}/cell", spec.name);
         let result = run_cell(&cell, |c: &Cell<()>| {
+            let _span = visionsim_core::span!(span_label.as_str(), cfg.seed);
             if fail_this {
                 panic!("injected failure via VISIONSIM_FAIL_ARTIFACT={}", c.label);
             }
@@ -435,6 +451,24 @@ pub fn run_all(cfg: &HarnessConfig) -> Vec<ArtifactOutcome> {
                 let checksum = fnv1a64(text.as_bytes());
                 if let Err(e) = write_atomic(&path, text.as_bytes()) {
                     eprintln!("[{}: write failed: {e}]", spec.name);
+                }
+                // Sidecar observability artifacts. The metrics snapshot
+                // excludes wall-clock metrics, so it is byte-identical for
+                // a given seed at any thread count; the trace is sorted by
+                // (time, seq) at dump time instead.
+                if metrics::enabled() {
+                    let mpath = cfg.dir.join(format!("{}.metrics.json", spec.name));
+                    if let Err(e) = write_atomic(&mpath, metrics::snapshot_json(false).as_bytes())
+                    {
+                        eprintln!("[{}: metrics write failed: {e}]", spec.name);
+                    }
+                }
+                if trace::enabled() {
+                    let events = trace::take();
+                    let tpath = cfg.dir.join(format!("{}.trace.bin", spec.name));
+                    if let Err(e) = write_atomic(&tpath, &trace::encode(&events)) {
+                        eprintln!("[{}: trace write failed: {e}]", spec.name);
+                    }
                 }
                 manifest.entries.push(ManifestEntry {
                     name: spec.name.to_string(),

@@ -89,7 +89,10 @@ pub fn run(secs: u64, seed: u64) -> MotionToPhoton {
                 .max_by(|&a, &b| {
                     let ma = out.e2e_latency_ms[a].clone().median();
                     let mb = out.e2e_latency_ms[b].clone().median();
-                    ma.partial_cmp(&mb).expect("finite medians")
+                    // A participant with no delivered frames has a NaN
+                    // median (empty percentile set); total_cmp sorts NaN
+                    // last instead of panicking the cell.
+                    ma.total_cmp(&mb)
                 })
                 .expect("non-empty roster");
             // Passive estimate on ONE incoming media flow (flows are

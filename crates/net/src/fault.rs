@@ -157,6 +157,42 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable short name, used as the flight-recorder site label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "link_down",
+            FaultKind::LinkUp => "link_up",
+            FaultKind::RateCliff(_) => "rate_cliff",
+            FaultKind::RateRestore => "rate_restore",
+            FaultKind::DelaySpike(_) => "delay_spike",
+            FaultKind::DelayRestore => "delay_restore",
+            FaultKind::BurstLossStart(_) => "burst_loss_start",
+            FaultKind::BurstLossEnd => "burst_loss_end",
+            FaultKind::ReorderStart { .. } => "reorder_start",
+            FaultKind::ReorderEnd => "reorder_end",
+            FaultKind::DuplicateStart(_) => "duplicate_start",
+            FaultKind::DuplicateEnd => "duplicate_end",
+            FaultKind::ServerDown { .. } => "server_down",
+        }
+    }
+
+    /// True for the restoring half of an onset/recovery pair.
+    /// `ServerDown` has no paired recovery event — the session layer's
+    /// failover *is* the recovery — so it reports `false`.
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::LinkUp
+                | FaultKind::RateRestore
+                | FaultKind::DelayRestore
+                | FaultKind::BurstLossEnd
+                | FaultKind::ReorderEnd
+                | FaultKind::DuplicateEnd
+        )
+    }
+}
+
 /// A fault scheduled at an instant of virtual time.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultEvent {

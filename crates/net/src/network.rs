@@ -31,9 +31,11 @@ use crate::netem::NetemVerdict;
 use crate::packet::{Packet, PortPair};
 use crate::tap::{Tap, TapDirection, TapId, TapRecord};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use visionsim_core::event::EventQueue;
+use visionsim_core::metrics::{self, Class};
 use visionsim_core::sanitizer;
+use visionsim_core::trace::{self, TraceKind};
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::ByteSize;
@@ -44,6 +46,42 @@ use visionsim_geo::geodb::{GeoDb, NetAddr};
 /// by the `alloc_gate` integration test: zero for the forwarding machinery
 /// itself, with one budgeted for amortized growth of tap-record storage.
 pub const PER_HOP_ALLOC_BUDGET: usize = 1;
+
+/// Cached handles into the metrics registry, aggregated across every
+/// [`Network`] instance in the process. Counter sites mirror the
+/// [`crate::link::LinkStats`] bookkeeping exactly, so the process-wide
+/// totals satisfy the same conservation identity the sanitizer checks:
+/// `link_bytes_sent + link_dup_bytes == link_bytes_exited` once all
+/// traffic has drained (`net/in_flight_bytes` holds the residual).
+///
+/// Everything here is [`Class::Sim`]: pure functions of the seeds, updated
+/// via commutative atomic adds, so the totals are identical at any worker
+/// thread count.
+struct NetMetrics {
+    link_packets_sent: metrics::Counter,
+    link_bytes_sent: metrics::Counter,
+    link_dup_bytes: metrics::Counter,
+    link_bytes_exited: metrics::Counter,
+    packets_dropped: metrics::Counter,
+    in_flight_bytes: metrics::Gauge,
+    queue_depth: metrics::Gauge,
+}
+
+fn net_metrics() -> &'static NetMetrics {
+    static M: OnceLock<NetMetrics> = OnceLock::new();
+    M.get_or_init(|| NetMetrics {
+        link_packets_sent: metrics::counter("net/link_packets_sent", Class::Sim),
+        link_bytes_sent: metrics::counter("net/link_bytes_sent", Class::Sim),
+        link_dup_bytes: metrics::counter("net/link_dup_bytes", Class::Sim),
+        link_bytes_exited: metrics::counter("net/link_bytes_exited", Class::Sim),
+        packets_dropped: metrics::counter("net/packets_dropped", Class::Sim),
+        // Scheduled-minus-drained event depth; deltas commute, so the
+        // gauge stays deterministic across thread counts (a `set` of the
+        // local queue length would not — last writer would win).
+        in_flight_bytes: metrics::gauge("net/in_flight_bytes", Class::Sim),
+        queue_depth: metrics::gauge("net/queue_depth", Class::Sim),
+    })
+}
 
 /// Identifier of a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -423,6 +461,16 @@ impl Network {
             &packet,
             TapDirection::Egress,
         );
+        if trace::enabled() {
+            trace::record(
+                TraceKind::PacketSend,
+                now.as_nanos(),
+                0,
+                seq,
+                src.0 as u64,
+                dst.0 as u64,
+            );
+        }
         let first = route[0];
         let size = packet.wire_size();
         let slot = self.alloc_flight(Flight {
@@ -472,14 +520,36 @@ impl Network {
             let link = &mut self.links[lid.0];
             let Some(serialized) = link.serialize(now, size) else {
                 self.dropped += 1;
-                self.free_flight(slot);
+                net_metrics().packets_dropped.inc();
+                let flight = self.free_flight(slot);
+                if trace::enabled() {
+                    trace::record(
+                        TraceKind::PacketDrop,
+                        now.as_nanos(),
+                        0,
+                        flight.packet.seq,
+                        lid.0 as u64,
+                        0,
+                    );
+                }
                 return false;
             };
             match link.config.netem.apply(now, size, &mut self.rng) {
                 NetemVerdict::Drop => {
                     link.stats.netem_drops += 1;
                     self.dropped += 1;
-                    self.free_flight(slot);
+                    net_metrics().packets_dropped.inc();
+                    let flight = self.free_flight(slot);
+                    if trace::enabled() {
+                        trace::record(
+                            TraceKind::PacketDrop,
+                            now.as_nanos(),
+                            0,
+                            flight.packet.seq,
+                            lid.0 as u64,
+                            0,
+                        );
+                    }
                     return false;
                 }
                 NetemVerdict::Deliver { delay, corrupt } => {
@@ -487,6 +557,10 @@ impl Network {
                     link.stats.bytes += size.as_bytes();
                     link.stats.in_flight += 1;
                     link.stats.in_flight_bytes += size.as_bytes();
+                    let m = net_metrics();
+                    m.link_packets_sent.inc();
+                    m.link_bytes_sent.add(size.as_bytes());
+                    m.in_flight_bytes.add(size.as_bytes() as i64);
                     (serialized + link.config.delay + delay, None, corrupt)
                 }
                 NetemVerdict::Duplicate {
@@ -501,6 +575,11 @@ impl Network {
                     // Both copies are on the wire until their exits fire.
                     link.stats.in_flight += 2;
                     link.stats.in_flight_bytes += 2 * size.as_bytes();
+                    let m = net_metrics();
+                    m.link_packets_sent.inc();
+                    m.link_bytes_sent.add(size.as_bytes());
+                    m.link_dup_bytes.add(size.as_bytes());
+                    m.in_flight_bytes.add(2 * size.as_bytes() as i64);
                     let base = serialized + link.config.delay;
                     (base + delay, Some(base + dup_delay), corrupt)
                 }
@@ -525,8 +604,10 @@ impl Network {
                 .expect("duplicating an empty flight slot");
             let dup = self.alloc_flight(dup);
             self.queue.schedule(dup_at, NetEvent::LinkExit { flight: dup });
+            net_metrics().queue_depth.add(1);
         }
         self.queue.schedule(exit_time, NetEvent::LinkExit { flight: slot });
+        net_metrics().queue_depth.add(1);
         true
     }
 
@@ -536,6 +617,7 @@ impl Network {
             match ev.payload {
                 NetEvent::LinkExit { flight: slot } => {
                     let at = ev.at;
+                    net_metrics().queue_depth.add(-1);
                     // Read the cursor — and advance it when there are hops
                     // left — without evicting the flight: a forwarded
                     // packet stays in its slot hop after hop.
@@ -559,6 +641,9 @@ impl Network {
                         link.stats.in_flight_bytes -= size.as_bytes();
                         link.to
                     };
+                    let m = net_metrics();
+                    m.link_bytes_exited.add(size.as_bytes());
+                    m.in_flight_bytes.add(-(size.as_bytes() as i64));
                     if let Some(next_lid) = next {
                         let flight = self.flights[slot as usize]
                             .as_ref()
@@ -582,6 +667,16 @@ impl Network {
                             &flight.packet,
                             TapDirection::Ingress,
                         );
+                        if trace::enabled() {
+                            trace::record(
+                                TraceKind::PacketDeliver,
+                                at.as_nanos(),
+                                0,
+                                flight.packet.seq,
+                                node as u64,
+                                0,
+                            );
+                        }
                         self.nodes[node].inbox.push_back(Delivered {
                             packet: flight.packet,
                             at,

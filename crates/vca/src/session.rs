@@ -25,8 +25,11 @@ use crate::profile::{AppProfile, PersonaType, Topology};
 use crate::scene::{GazeDynamics, SeatingLayout};
 use crate::server::{failover_site, AssignmentPolicy, ServerAssignment};
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+use visionsim_core::metrics::{self, Class};
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
+use visionsim_core::trace::{self, TraceKind};
 use visionsim_core::units::DataRate;
 use visionsim_device::device::{Device, DeviceKind};
 use visionsim_geo::cities::City;
@@ -49,6 +52,29 @@ use visionsim_sensor::motion::MotionConfig;
 use visionsim_transport::cipher;
 use visionsim_transport::quic::QuicStreamSender;
 use visionsim_transport::rtp::RtpStream;
+
+/// Cached handles into the metrics registry for the session layer. All
+/// [`Class::Sim`]: derived purely from seeded simulation state.
+struct VcaMetrics {
+    pli_sent: metrics::Counter,
+    keyframes_forced: metrics::Counter,
+    mode_switches: metrics::Counter,
+    failovers: metrics::Counter,
+    fault_onsets: metrics::Counter,
+    fault_recoveries: metrics::Counter,
+}
+
+fn vca_metrics() -> &'static VcaMetrics {
+    static M: OnceLock<VcaMetrics> = OnceLock::new();
+    M.get_or_init(|| VcaMetrics {
+        pli_sent: metrics::counter("vca/pli_sent", Class::Sim),
+        keyframes_forced: metrics::counter("vca/keyframes_forced", Class::Sim),
+        mode_switches: metrics::counter("vca/mode_switches", Class::Sim),
+        failovers: metrics::counter("vca/failovers", Class::Sim),
+        fault_onsets: metrics::counter("vca/fault_onsets", Class::Sim),
+        fault_recoveries: metrics::counter("vca/fault_recoveries", Class::Sim),
+    })
+}
 
 /// One participant's specification.
 #[derive(Clone, Debug)]
@@ -614,6 +640,26 @@ impl SessionRunner {
             for (idx, plan) in fault_plans.iter_mut() {
                 let due: Vec<FaultEvent> = plan.due(now).to_vec();
                 for ev in due {
+                    if ev.kind.is_recovery() {
+                        vca_metrics().fault_recoveries.inc();
+                    } else {
+                        vca_metrics().fault_onsets.inc();
+                    }
+                    if trace::enabled() {
+                        let kind = if ev.kind.is_recovery() {
+                            TraceKind::FaultRecovery
+                        } else {
+                            TraceKind::FaultOnset
+                        };
+                        trace::record(
+                            kind,
+                            now.as_nanos(),
+                            trace::intern(ev.kind.name()),
+                            *idx as u64,
+                            0,
+                            0,
+                        );
+                    }
                     let (up, down) = access_links[*idx];
                     match ev.kind {
                         FaultKind::ServerDown { detect, reconnect } => {
@@ -693,6 +739,17 @@ impl SessionRunner {
                                     .mul_f64(0.8);
                                 net.add_duplex(node, other, LinkConfig::core(d));
                             }
+                        }
+                        vca_metrics().failovers.inc();
+                        if trace::enabled() {
+                            trace::record(
+                                TraceKind::SfuFailover,
+                                now.as_nanos(),
+                                trace::intern(site.label),
+                                affected.len() as u64,
+                                0,
+                                0,
+                            );
                         }
                         failovers.push((now, site.label.to_string()));
                     }
@@ -848,6 +905,7 @@ impl SessionRunner {
                                 if let SenderState::Video { encoder, .. } = &mut senders[r] {
                                     encoder.force_keyframe();
                                     keyframes_forced[r] += 1;
+                                    vca_metrics().keyframes_forced.inc();
                                 }
                             }
                             continue;
@@ -951,6 +1009,7 @@ impl SessionRunner {
                                 if gap_seen && cooled {
                                     peer.last_pli_at = Some(now);
                                     pli_sent[r] += 1;
+                                    vca_metrics().pli_sent.inc();
                                     let pli = visionsim_transport::rtcp::PliPacket {
                                         reporter_ssrc: r as u32 + 1,
                                         source_ssrc: sender as u32 + 1,
@@ -1019,6 +1078,23 @@ impl SessionRunner {
                             // The same observable drives graceful
                             // degradation, with stickier recovery.
                             let mode = ladders[r].on_interval(worst);
+                            let prev = mode_log[r].last().map(|&(_, m)| m);
+                            if prev.is_some_and(|p| p != mode) {
+                                vca_metrics().mode_switches.inc();
+                                if trace::enabled() {
+                                    trace::record(
+                                        TraceKind::ModeSwitch,
+                                        now.as_nanos(),
+                                        0,
+                                        r as u64,
+                                        match mode {
+                                            PersonaMode::Spatial => 0,
+                                            PersonaMode::TwoDFallback => 1,
+                                        },
+                                        0,
+                                    );
+                                }
+                            }
                             mode_log[r].push((now, mode));
                         }
                         PersonaType::TwoD => {

@@ -16,10 +16,16 @@
 //! inbox/drain bookkeeping — far below the several-allocations-per-hop
 //! cost of the pre-refactor owned-`Vec` datapath.
 
+//! Every test here holds `par::override_guard()`: the allocation counter
+//! is process-global, so two tests measuring deltas concurrently would
+//! pollute each other — and the tracing variant flips the process-global
+//! `trace`/`metrics` force switches.
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use visionsim_core::{metrics, par, trace};
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_geo::coords::GeoPoint;
 use visionsim_net::link::LinkConfig;
@@ -87,13 +93,17 @@ fn burst(net: &mut Network, src: NodeId, dst: NodeId, payload: &Arc<[u8]>, taps:
     got
 }
 
-#[test]
-fn warmed_forwarding_is_allocation_free_per_hop() {
+/// The no-tap steady-state measurement, shared by the tracing-off and
+/// tracing-on gates: warm up, then return the allocation delta of one
+/// additional burst.
+fn warmed_forwarding_delta() -> usize {
     let (mut net, src, dst) = chain(HOPS, false);
     let payload: Arc<[u8]> = vec![0xEEu8; 1_200].into();
 
     // Warm-up: grows the flight slab, queue heap, route cache, inboxes
-    // and the destination drain vector to their steady-state capacity.
+    // and the destination drain vector to their steady-state capacity
+    // (and, with tracing on, the preallocated event ring, the interned
+    // site table, and the metrics registrations).
     for _ in 0..4 {
         assert_eq!(burst(&mut net, src, dst, &payload, 0), BATCH);
     }
@@ -102,21 +112,54 @@ fn warmed_forwarding_is_allocation_free_per_hop() {
     let delivered = burst(&mut net, src, dst, &payload, 0);
     let delta = allocations() - before;
     assert_eq!(delivered, BATCH);
+    delta
+}
 
-    // Forwarding machinery itself must be allocation-free; the budget
-    // covers amortized growth of reused containers, and the flat slack
-    // covers the drain `collect` in `poll_delivered`.
-    let budget = PER_HOP_ALLOC_BUDGET * HOPS * BATCH / 8 + 16;
+/// Budget for the no-tap burst: forwarding machinery itself must be
+/// allocation-free; this covers amortized growth of reused containers plus
+/// a flat slack for the drain `collect` in `poll_delivered`.
+const NO_TAP_BUDGET: usize = PER_HOP_ALLOC_BUDGET * HOPS * BATCH / 8 + 16;
+
+#[test]
+fn warmed_forwarding_is_allocation_free_per_hop() {
+    let _guard = par::override_guard();
+    trace::force(Some(false));
+    metrics::force(Some(false));
+    let delta = warmed_forwarding_delta();
+    trace::force(None);
+    metrics::force(None);
     assert!(
-        delta <= budget,
+        delta <= NO_TAP_BUDGET,
         "warmed no-tap burst allocated {delta} times \
-         ({BATCH} packets x {HOPS} hops, budget {budget}); \
+         ({BATCH} packets x {HOPS} hops, budget {NO_TAP_BUDGET}); \
          the zero-copy fast path regressed"
     );
 }
 
 #[test]
+fn warmed_forwarding_stays_allocation_free_with_tracing_on() {
+    let _guard = par::override_guard();
+    trace::force(Some(true));
+    metrics::force(Some(true));
+    let delta = warmed_forwarding_delta();
+    trace::force(None);
+    metrics::force(None);
+    trace::reset();
+    // The flight recorder records into a preallocated ring and bumps
+    // preregistered atomics: turning it on must not add a single
+    // allocation to the per-hop budget.
+    assert!(
+        delta <= NO_TAP_BUDGET,
+        "warmed no-tap burst with tracing on allocated {delta} times \
+         (budget {NO_TAP_BUDGET}); the flight recorder allocates in steady state"
+    );
+}
+
+#[test]
 fn tap_observation_stays_within_per_hop_budget() {
+    let _guard = par::override_guard();
+    trace::force(Some(false));
+    metrics::force(Some(false));
     let taps = HOPS + 1;
     let (mut net, src, dst) = chain(HOPS, true);
     let payload: Arc<[u8]> = vec![0x7Au8; 1_200].into();
@@ -135,6 +178,8 @@ fn tap_observation_stays_within_per_hop_budget() {
     // hit amortized growth: budget one allocation per observed hop.
     let observations = taps * BATCH;
     let budget = PER_HOP_ALLOC_BUDGET * observations + 32;
+    trace::force(None);
+    metrics::force(None);
     assert!(
         delta <= budget,
         "warmed tapped burst allocated {delta} times \
@@ -145,6 +190,9 @@ fn tap_observation_stays_within_per_hop_budget() {
 
 #[test]
 fn relaying_a_delivered_payload_allocates_nothing_for_the_bytes() {
+    // Not a delta measurement, but it allocates freely — hold the guard so
+    // it cannot run concurrently with one.
+    let _guard = par::override_guard();
     // SFU-style relay: deliver once, re-send the same payload to a second
     // destination. The payload bytes must be shared, not copied.
     let (mut net, src, mid) = chain(2, false);

@@ -1,11 +1,14 @@
 //! Thread-count determinism: every formatted artifact must be
-//! byte-identical whether the harness runs on one worker or all cores.
+//! byte-identical whether the harness runs on one worker or all cores —
+//! and, with the flight recorder on, the deterministic metrics snapshot
+//! must be identical too.
 //!
-//! A single test function drives both configurations so the global
-//! `core::par::set_threads` override is never raced by the libtest runner.
+//! Every test takes the `core::par::override_guard` so the process-global
+//! knobs (`set_threads`, `trace::force`, `metrics::force`) are never raced
+//! by the libtest runner.
 
 use visionsim::experiments::{extensions, figure6, mesh_streaming, resilience, table1};
-use visionsim::core::par;
+use visionsim::core::{metrics, par, trace};
 
 /// Render a small-but-representative slice of the suite at `seed`.
 fn artifacts(seed: u64) -> String {
@@ -43,4 +46,58 @@ fn parallel_output_is_byte_identical_to_sequential() {
             "seed {seed}: parallel output diverged from single-thread"
         );
     }
+}
+
+#[test]
+fn metrics_are_identical_across_thread_counts_with_tracing_on() {
+    let _guard = par::override_guard();
+    trace::force(Some(true));
+    metrics::force(Some(true));
+
+    let mut baseline: Option<(String, String)> = None;
+    for threads in [1usize, 4, 8] {
+        par::set_threads(Some(threads));
+        metrics::reset();
+        trace::reset();
+        let text = artifacts(2024);
+        // Only the deterministic (`Class::Sim`) values; wall-clock
+        // histograms legitimately differ run to run.
+        let snap = metrics::snapshot_json(false);
+
+        // The per-link byte counters must satisfy the same conservation
+        // identity the sanitizer checks on every drained network:
+        // accepted + duplicated bytes all either exited or are still in
+        // flight when the session ends.
+        let sent = metrics::counter_value("net/link_bytes_sent").expect("counter registered");
+        let dup = metrics::counter_value("net/link_dup_bytes").expect("counter registered");
+        let exited = metrics::counter_value("net/link_bytes_exited").expect("counter registered");
+        let in_flight = metrics::gauge_value("net/in_flight_bytes").expect("gauge registered");
+        assert!(sent > 0, "the suite must exercise the datapath");
+        assert!(in_flight >= 0, "in-flight bytes can never go negative");
+        assert_eq!(
+            sent + dup,
+            exited + in_flight as u64,
+            "{threads} threads: metrics counters broke the byte-conservation identity"
+        );
+
+        match &baseline {
+            None => baseline = Some((text, snap)),
+            Some((text0, snap0)) => {
+                assert_eq!(
+                    &text, text0,
+                    "{threads} threads: artifacts diverged with tracing on"
+                );
+                assert_eq!(
+                    &snap, snap0,
+                    "{threads} threads: metrics snapshot diverged"
+                );
+            }
+        }
+    }
+
+    par::set_threads(None);
+    trace::force(None);
+    metrics::force(None);
+    metrics::reset();
+    trace::reset();
 }
