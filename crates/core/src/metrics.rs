@@ -167,8 +167,13 @@ struct Entry {
 
 static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
 
-/// Programmatic override: 0 = unset, 1 = forced off, 2 = forced on.
-static FORCE: AtomicU8 = AtomicU8::new(0);
+/// Effective capture state: 0 = unresolved (consult the environment),
+/// 1 = off, 2 = on. A single cell — rather than a `FORCE` override
+/// checked in front of a lazily-read env default — keeps the disabled
+/// fast path at exactly one relaxed load and one predictable branch;
+/// `enabled()` sits in front of every per-packet update on the datapath,
+/// where the extra `OnceLock` probe of the two-cell scheme was measurable.
+static STATE: AtomicU8 = AtomicU8::new(0);
 
 fn env_default() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
@@ -180,22 +185,28 @@ fn env_default() -> bool {
     })
 }
 
+#[cold]
+fn resolve_state() -> bool {
+    let on = env_default();
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
 /// Whether metric updates are being captured.
 #[inline]
 pub fn enabled() -> bool {
-    match FORCE.load(Ordering::Relaxed) {
-        1 => return false,
-        2 => return true,
-        _ => {}
+    match STATE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => resolve_state(),
     }
-    env_default()
 }
 
 /// Force metrics on or off for this process (`None` restores the env
 /// default). Process-global; tests that flip it should hold
 /// [`crate::par::override_guard`].
 pub fn force(on: Option<bool>) {
-    FORCE.store(
+    STATE.store(
         match on {
             None => 0,
             Some(false) => 1,

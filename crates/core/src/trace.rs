@@ -142,8 +142,12 @@ const EVENT_WIRE_BYTES: usize = 45;
 /// Magic prefix of a `trace.bin` image.
 const TRACE_MAGIC: &[u8; 8] = b"VSTRACE1";
 
-/// Programmatic override: 0 = unset, 1 = forced off, 2 = forced on.
-static FORCE: AtomicU8 = AtomicU8::new(0);
+/// Effective capture state: 0 = unresolved (consult the environment),
+/// 1 = off, 2 = on. One cell instead of a `FORCE` override in front of a
+/// lazily-read env default: `enabled()` guards every hot-path `record`
+/// site, and the single-load scheme keeps the disabled cost to one
+/// relaxed load plus a predictable branch.
+static STATE: AtomicU8 = AtomicU8::new(0);
 /// Process-global order stamp source.
 static SEQ: AtomicU64 = AtomicU64::new(0);
 /// Events recorded since process start / last [`reset`] (including any
@@ -193,14 +197,21 @@ pub fn capacity() -> usize {
     })
 }
 
+#[cold]
+fn resolve_state() -> bool {
+    let on = env_default();
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
 /// Whether the recorder is currently capturing.
+#[inline]
 pub fn enabled() -> bool {
-    match FORCE.load(Ordering::Relaxed) {
-        1 => return false,
-        2 => return true,
-        _ => {}
+    match STATE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => resolve_state(),
     }
-    env_default()
 }
 
 fn ensure_ring(ring: &mut Ring) {
@@ -215,7 +226,7 @@ fn ensure_ring(ring: &mut Ring) {
 /// [`crate::par::set_threads`]; tests that flip it should hold
 /// [`crate::par::override_guard`].
 pub fn force(on: Option<bool>) {
-    FORCE.store(
+    STATE.store(
         match on {
             None => 0,
             Some(false) => 1,

@@ -137,6 +137,15 @@ impl LinkState {
         }
     }
 
+    /// True when the link neither serializes (no rate bottleneck) nor
+    /// impairs beyond a fixed delay: admission is a constant-offset
+    /// schedule with no randomness and no queue, the precondition for the
+    /// batched datapath's constant-verdict admission fast path.
+    #[inline]
+    pub fn is_passthrough(&self) -> bool {
+        self.config.rate.is_none() && self.config.netem.is_transparent()
+    }
+
     /// Compute when a packet of `size` accepted at `now` finishes
     /// serializing, updating the busy horizon. Returns `None` when the
     /// drop-tail queue is full.

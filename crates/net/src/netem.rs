@@ -6,10 +6,16 @@
 //! [`Netem`] reproduces those knobs, plus the loss/corruption injection the
 //! session guides' reference stack exposes for robustness testing.
 
-use crate::fault::GilbertElliott;
+use crate::fault::{DrawPlan, GilbertElliott};
+use std::cell::Cell;
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::{ByteSize, DataRate};
+
+/// How many uniform words the loss-only batch path generates per
+/// [`SimRng::next_u64_chunk`] call — sized to keep the xoshiro state in
+/// registers without spilling the output buffer out of L1.
+const RNG_CHUNK: usize = 64;
 
 /// Impairment configuration for one link direction.
 #[derive(Clone, Debug, Default)]
@@ -78,14 +84,13 @@ impl Netem {
         }
     }
 
-    /// Sample the impairment's verdict for one packet.
-    pub fn apply(&mut self, now: SimTime, size: ByteSize, rng: &mut SimRng) -> NetemVerdict {
-        // Fused transparent-config check: an unimpaired link (the common
-        // case on the forwarding fast path) takes one predictable branch
-        // and draws no randomness. The fall-through handles every knob in
-        // the same order as always, so RNG draw sequence — and therefore
-        // artifact determinism — is unchanged.
-        if !self.down
+    /// True when no knob except `extra_delay` is active: the verdict is a
+    /// constant `Deliver` and zero randomness is drawn. This is the common
+    /// case on the forwarding fast path and the precondition for the
+    /// constant-fill branch of [`Netem::apply_batch`].
+    #[inline]
+    pub fn is_transparent(&self) -> bool {
+        !self.down
             && self.ge.is_none()
             && self.loss == 0.0
             && self.jitter.is_zero()
@@ -94,7 +99,15 @@ impl Netem {
             && self.reorder == 0.0
             && self.corrupt == 0.0
             && self.duplicate == 0.0
-        {
+    }
+
+    /// Sample the impairment's verdict for one packet.
+    pub fn apply(&mut self, now: SimTime, size: ByteSize, rng: &mut SimRng) -> NetemVerdict {
+        // Fused transparent-config check: an unimpaired link takes one
+        // predictable branch and draws no randomness. The fall-through
+        // handles every knob in the same order as always, so RNG draw
+        // sequence — and therefore artifact determinism — is unchanged.
+        if self.is_transparent() {
             return NetemVerdict::Deliver {
                 delay: self.extra_delay,
                 corrupt: false,
@@ -103,6 +116,14 @@ impl Netem {
         if self.down {
             return NetemVerdict::Drop;
         }
+        self.apply_impaired(now, size, rng)
+    }
+
+    /// The knob-by-knob verdict for a non-transparent, non-down config —
+    /// the single source of truth for impairment ordering and RNG draw
+    /// order, shared by the scalar [`Netem::apply`] and the general branch
+    /// of [`Netem::apply_batch`].
+    fn apply_impaired(&mut self, now: SimTime, size: ByteSize, rng: &mut SimRng) -> NetemVerdict {
         if let Some(ge) = &mut self.ge {
             if ge.sample_drop(rng) {
                 return NetemVerdict::Drop;
@@ -146,6 +167,127 @@ impl Netem {
         }
         NetemVerdict::Deliver { delay, corrupt }
     }
+
+    /// Sample verdicts for a batch of packets admitted at the same instant,
+    /// writing them into a reusable output buffer.
+    ///
+    /// Draw-order contract: the verdict stream and the RNG stream position
+    /// afterwards are bit-identical to calling [`Netem::apply`] once per
+    /// packet in slice order. Fast paths only exist where that equivalence
+    /// is provable:
+    ///
+    /// - transparent config — zero draws, constant fill;
+    /// - link down — zero draws, constant fill;
+    /// - independent loss only — exactly one uniform per packet, so the
+    ///   words can be generated in register-resident chunks;
+    /// - Gilbert–Elliott (plus optional independent loss) — draw count is
+    ///   state-dependent, so no chunking, but the transition table and
+    ///   channel state hoist out of the per-packet loop;
+    /// - anything else — the scalar `apply_impaired` per packet.
+    pub fn apply_batch(
+        &mut self,
+        now: SimTime,
+        sizes: &[ByteSize],
+        rng: &mut SimRng,
+        out: &mut NetemBatch,
+    ) {
+        out.verdicts.clear();
+        out.verdicts.reserve(sizes.len());
+        if self.is_transparent() {
+            let v = NetemVerdict::Deliver {
+                delay: self.extra_delay,
+                corrupt: false,
+            };
+            out.verdicts.resize(sizes.len(), v);
+            return;
+        }
+        if self.down {
+            out.verdicts.resize(sizes.len(), NetemVerdict::Drop);
+            return;
+        }
+        let only_stochastic = self.jitter.is_zero()
+            && self.profile.is_none()
+            && self.shaper.is_none()
+            && self.reorder == 0.0
+            && self.corrupt == 0.0
+            && self.duplicate == 0.0;
+        if only_stochastic {
+            let deliver = NetemVerdict::Deliver {
+                delay: self.extra_delay,
+                corrupt: false,
+            };
+            match (&mut self.ge, DrawPlan::of(self.loss)) {
+                (None, DrawPlan::Draw(p)) => {
+                    // Independent loss alone draws exactly one uniform per
+                    // packet, so the words can be pre-generated in chunks.
+                    // The comparison reproduces `SimRng::uniform` bit-for-bit.
+                    let mut words = [0u64; RNG_CHUNK];
+                    let mut remaining = sizes.len();
+                    while remaining > 0 {
+                        let n = remaining.min(RNG_CHUNK);
+                        rng.next_u64_chunk(&mut words[..n]);
+                        for &w in &words[..n] {
+                            let u = (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                            out.verdicts
+                                .push(if u < p { NetemVerdict::Drop } else { deliver });
+                        }
+                        remaining -= n;
+                    }
+                    return;
+                }
+                (Some(ge), loss_plan) => {
+                    // Hoist the transition table and channel state out of
+                    // the loop; `||` short-circuits exactly like the scalar
+                    // path (a GE drop never evaluates the loss draw).
+                    let kernel = ge.kernel();
+                    let mut state = ge.state_index();
+                    for _ in sizes {
+                        let dropped = kernel.step(&mut state, rng) || loss_plan.eval(rng);
+                        out.verdicts
+                            .push(if dropped { NetemVerdict::Drop } else { deliver });
+                    }
+                    ge.set_state_index(state);
+                    return;
+                }
+                // loss ≥ 1 with no GE: rare, let the general loop decide.
+                _ => {}
+            }
+        }
+        for &size in sizes {
+            let v = self.apply_impaired(now, size, rng);
+            out.verdicts.push(v);
+        }
+    }
+}
+
+/// Reusable output buffer for [`Netem::apply_batch`]: one verdict per
+/// admitted packet, in admission order. Allocated once and recycled so the
+/// batch kernel stays inside the datapath's per-hop allocation budget.
+#[derive(Debug, Default)]
+pub struct NetemBatch {
+    verdicts: Vec<NetemVerdict>,
+}
+
+impl NetemBatch {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        NetemBatch::default()
+    }
+
+    /// Number of verdicts from the last `apply_batch`.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// True when no verdicts are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// The verdicts, in admission order.
+    pub fn verdicts(&self) -> &[NetemVerdict] {
+        &self.verdicts
+    }
 }
 
 /// Outcome of applying impairments to one packet.
@@ -180,8 +322,17 @@ pub struct RateProfile {
     /// (segment duration, rate) pairs; the schedule repeats after the last
     /// segment.
     segments: Vec<(SimDuration, DataRate)>,
+    /// Cumulative end offset of each segment within the cycle, in
+    /// nanoseconds — the binary-search keys for `rate_at`. `bounds[i]` is
+    /// the exclusive end of segment `i`; the last entry equals the cycle.
+    bounds: Vec<u64>,
     /// Total cycle length.
     cycle: SimDuration,
+    /// Segment index the previous lookup landed in. Packet admission times
+    /// are near-monotone, so consecutive lookups overwhelmingly re-hit the
+    /// same segment; this is purely a cache — results are identical with
+    /// or without it.
+    last_hit: Cell<usize>,
 }
 
 impl RateProfile {
@@ -192,22 +343,35 @@ impl RateProfile {
             segments.iter().all(|(d, r)| !d.is_zero() && *r > DataRate::ZERO),
             "segments need positive durations and rates"
         );
-        let cycle = segments
-            .iter()
-            .fold(SimDuration::ZERO, |acc, (d, _)| acc + *d);
-        RateProfile { segments, cycle }
+        let mut bounds = Vec::with_capacity(segments.len());
+        let mut acc = 0u64;
+        for (d, _) in &segments {
+            acc += d.as_nanos();
+            bounds.push(acc);
+        }
+        let cycle = SimDuration::from_nanos(acc);
+        RateProfile {
+            segments,
+            bounds,
+            cycle,
+            last_hit: Cell::new(0),
+        }
     }
 
-    /// The rate in force at instant `t` (cyclic).
+    /// The rate in force at instant `t` (cyclic). O(1) when `t` lands in
+    /// the same segment as the previous call, O(log n) otherwise.
     pub fn rate_at(&self, t: SimTime) -> DataRate {
-        let mut offset = SimDuration::from_nanos(t.as_nanos() % self.cycle.as_nanos());
-        for (d, r) in &self.segments {
-            if offset < *d {
-                return *r;
-            }
-            offset -= *d;
+        let offset = t.as_nanos() % self.cycle.as_nanos();
+        let hit = self.last_hit.get();
+        let start = if hit == 0 { 0 } else { self.bounds[hit - 1] };
+        if start <= offset && offset < self.bounds[hit] {
+            return self.segments[hit].1;
         }
-        self.segments.last().expect("non-empty").1
+        // `offset < cycle == bounds.last()`, so the partition point is
+        // always a valid segment index.
+        let idx = self.bounds.partition_point(|&end| end <= offset);
+        self.last_hit.set(idx);
+        self.segments[idx].1
     }
 
     /// The cycle length.
@@ -576,6 +740,108 @@ mod tests {
                 assert!(dup_delay > delay);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_batch_matches_scalar_stream_for_every_config_shape() {
+        use crate::fault::{GeConfig, GilbertElliott};
+        let ge = || {
+            GilbertElliott::new(GeConfig {
+                good_to_bad: 0.05,
+                bad_to_good: 0.2,
+                loss_good: 0.01,
+                loss_bad: 0.8,
+            })
+        };
+        let configs = vec![
+            Netem::none(),
+            Netem::with_delay(SimDuration::from_millis(20)),
+            Netem {
+                down: true,
+                loss: 0.5,
+                ..Netem::default()
+            },
+            Netem {
+                loss: 0.3,
+                ..Netem::default()
+            },
+            Netem {
+                loss: 1.5,
+                ..Netem::default()
+            },
+            Netem {
+                ge: Some(ge()),
+                ..Netem::default()
+            },
+            Netem {
+                ge: Some(ge()),
+                loss: 0.1,
+                ..Netem::default()
+            },
+            Netem {
+                jitter: SimDuration::from_millis(5),
+                loss: 0.2,
+                corrupt: 0.1,
+                duplicate: 0.15,
+                reorder: 0.1,
+                reorder_extra: SimDuration::from_millis(30),
+                ..Netem::default()
+            },
+            Netem::with_rate_limit(DataRate::from_kbps(700)),
+        ];
+        for (i, config) in configs.into_iter().enumerate() {
+            let sizes: Vec<ByteSize> = (0..257)
+                .map(|k| ByteSize::from_bytes(100 + (k % 5) * 300))
+                .collect();
+            let now = SimTime::from_millis(7);
+            let mut scalar = config.clone();
+            let mut batched = config;
+            let mut rng_s = SimRng::seed_from_u64(42 + i as u64);
+            let mut rng_b = SimRng::seed_from_u64(42 + i as u64);
+            let want: Vec<NetemVerdict> = sizes
+                .iter()
+                .map(|&s| scalar.apply(now, s, &mut rng_s))
+                .collect();
+            let mut out = NetemBatch::new();
+            batched.apply_batch(now, &sizes, &mut rng_b, &mut out);
+            assert_eq!(out.verdicts(), &want[..], "verdicts diverged for config {i}");
+            assert_eq!(
+                rng_s.state_fingerprint(),
+                rng_b.state_fingerprint(),
+                "rng stream position diverged for config {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_profile_lookup_is_cache_invariant() {
+        let segs = vec![
+            (SimDuration::from_millis(300), DataRate::from_mbps(8)),
+            (SimDuration::from_millis(150), DataRate::from_kbps(700)),
+            (SimDuration::from_millis(50), DataRate::from_mbps(2)),
+            (SimDuration::from_millis(500), DataRate::from_kbps(160)),
+        ];
+        let p = RateProfile::new(segs.clone());
+        // Reference linear scan, evaluated fresh each call.
+        let linear = |t: SimTime| {
+            let mut offset = SimDuration::from_nanos(t.as_nanos() % p.cycle().as_nanos());
+            for (d, r) in &segs {
+                if offset < *d {
+                    return *r;
+                }
+                offset -= *d;
+            }
+            unreachable!()
+        };
+        // Forward sweep, backward sweep, and boundary-adjacent jumps: the
+        // last-hit cache must never change an answer.
+        let mut probes: Vec<u64> = (0..4_000u64).map(|k| k * 777_777).collect();
+        probes.extend((0..4_000u64).rev().map(|k| k * 999_999));
+        probes.extend([0, 299_999_999, 300_000_000, 499_999_999, 500_000_000, 999_999_999, 1_000_000_000]);
+        for ns in probes {
+            let t = SimTime::from_nanos(ns);
+            assert_eq!(p.rate_at(t), linear(t), "diverged at {ns} ns");
         }
     }
 

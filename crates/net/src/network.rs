@@ -27,12 +27,12 @@
 //! [`PER_HOP_ALLOC_BUDGET`] is the gated budget).
 
 use crate::link::{LinkConfig, LinkId, LinkState};
-use crate::netem::NetemVerdict;
-use crate::packet::{Packet, PortPair};
+use crate::netem::{NetemBatch, NetemVerdict};
+use crate::packet::{Packet, PortPair, IP_UDP_OVERHEAD_BYTES};
 use crate::tap::{Tap, TapDirection, TapId, TapRecord};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
-use visionsim_core::event::EventQueue;
+use visionsim_core::event::{EventQueue, ScratchBatch};
 use visionsim_core::metrics::{self, Class};
 use visionsim_core::sanitizer;
 use visionsim_core::trace::{self, TraceKind};
@@ -65,6 +65,11 @@ struct NetMetrics {
     packets_dropped: metrics::Counter,
     in_flight_bytes: metrics::Gauge,
     queue_depth: metrics::Gauge,
+    /// Non-empty tick-cohort drains performed by the batched loop.
+    batch_drains: metrics::Counter,
+    /// Log2 histogram of admission-run sizes (members per closed run) —
+    /// the batch width the netem kernel and bulk retirement actually see.
+    batch_size: metrics::Histogram,
 }
 
 fn net_metrics() -> &'static NetMetrics {
@@ -80,7 +85,33 @@ fn net_metrics() -> &'static NetMetrics {
         // local queue length would not — last writer would win).
         in_flight_bytes: metrics::gauge("net/in_flight_bytes", Class::Sim),
         queue_depth: metrics::gauge("net/queue_depth", Class::Sim),
+        batch_drains: metrics::counter("net/batch_drains", Class::Sim),
+        batch_size: metrics::histogram("net/batch_size", Class::Sim),
     })
+}
+
+/// Which inner loop [`Network::run_until`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainMode {
+    /// One heap pop per event — the reference implementation the batched
+    /// path is property-tested against.
+    Scalar,
+    /// Tick-cohort draining with run-accumulated cohort events and the
+    /// batched netem kernel. Observationally identical to `Scalar`:
+    /// same delivery order, same verdicts, same RNG stream position.
+    Batched,
+}
+
+impl DrainMode {
+    /// Process-wide default: batched, unless `VISIONSIM_DRAIN=scalar`
+    /// forces the reference loop (for bisecting or the equivalence test).
+    pub fn from_env() -> DrainMode {
+        static MODE: OnceLock<DrainMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("VISIONSIM_DRAIN").as_deref() {
+            Ok("scalar") => DrainMode::Scalar,
+            _ => DrainMode::Batched,
+        })
+    }
 }
 
 /// Identifier of a node.
@@ -109,14 +140,23 @@ pub struct Delivered {
 
 /// One in-flight copy of a packet: the packet itself plus its route
 /// cursor. Lives in the network's flight slab; queue events reference it
-/// by slot index. Cloning (for the duplication impairment) bumps two
-/// refcounts — payload bytes and the route are shared.
+/// by slot index. The route is an index into the network's interned
+/// route table, so creating, duplicating, and retiring a flight moves no
+/// refcount — only the payload `Arc` is shared state.
 #[derive(Clone, Debug)]
 struct Flight {
     packet: Packet,
-    route: Arc<[LinkId]>,
-    /// Position in `route` currently being traversed.
+    /// Index into [`Network::routes`].
+    route: u32,
+    /// Position in the route currently being traversed. Authoritative
+    /// for the scalar loop only: batched cohorts carry the cursor in
+    /// their [`Member`] records, and `schedule_exit` re-syncs this field
+    /// whenever a scalar `LinkExit` is created for the slot.
     hop: u32,
+    /// Cached `packet.wire_size()`: the payload is immutable, so hop
+    /// bookkeeping reads the size from the slab instead of chasing the
+    /// payload `Arc` every time.
+    size: ByteSize,
 }
 
 /// Multiply-rotate hasher for the route cache's small fixed-width
@@ -145,7 +185,19 @@ impl std::hash::Hasher for RouteKeyHasher {
 }
 
 type RouteCache =
-    HashMap<(usize, usize), Option<Arc<[LinkId]>>, std::hash::BuildHasherDefault<RouteKeyHasher>>;
+    HashMap<(usize, usize), Option<u32>, std::hash::BuildHasherDefault<RouteKeyHasher>>;
+
+/// Slots in the direct-mapped route memo in front of [`RouteCache`].
+/// Fan-out traffic cycles through one `(src, dst)` pair per subscriber,
+/// so a single-entry memo thrashes; 64 slots cover any realistic working
+/// set of concurrently-active flows, and a miss only falls back to the
+/// hash map. Power of two so the index is a mask.
+const ROUTE_MEMO_SLOTS: usize = 64;
+
+/// Direct-mapped memo entry: packed `(src << 32) | dst` key and the
+/// interned route id it resolved to. `key == u64::MAX` marks an empty
+/// slot; only resolvable pairs are memoized.
+type RouteMemoEntry = (u64, u32);
 
 /// Fixed-size POD event: the queue owns indices, never payloads.
 #[derive(Clone, Copy, Debug)]
@@ -156,6 +208,67 @@ enum NetEvent {
     LinkExit {
         flight: u32,
     },
+    /// The run of flights listed in cohort slab slot `cohort` all finish
+    /// traversing the same link at the same instant (batched mode).
+    CohortExit {
+        cohort: u32,
+    },
+}
+
+/// A run of flights admitted back-to-back with the same exit time,
+/// scheduled as one queue event instead of one per packet. Members may
+/// exit *different* links (SFU fan-out admits one copy per subscriber
+/// link at one instant): each member's link is derived from its route
+/// cursor at processing time, and per-link bookkeeping is amortized over
+/// consecutive same-link members. Slots recycle through a LIFO free list
+/// and keep their `Vec` capacity, so steady-state cohort scheduling
+/// allocates nothing.
+#[derive(Debug, Default)]
+struct Cohort {
+    /// Members, in admission order.
+    members: Vec<Member>,
+}
+
+/// A cohort member: the flight slot plus a copy of its route cursor and
+/// wire size. Carrying the cursor in the member record — not just the
+/// slot — means a passthrough continuation is processed without touching
+/// the flight slab at all: the hot chain/fan-out loop reads one
+/// contiguous member array and writes the next, and the slab is only
+/// dereferenced at real boundaries (impairment, duplication, drop, tap
+/// capture, delivery).
+#[derive(Clone, Copy, Debug)]
+struct Member {
+    /// Flight slab slot.
+    slot: u32,
+    /// Index into [`Network::routes`] (copied from the flight).
+    route: u32,
+    /// The hop this member is currently traversing.
+    hop: u32,
+    /// Cached wire size (copied from the flight).
+    size: ByteSize,
+}
+
+/// The admission run currently accumulating (batched mode). At most one
+/// run is open at any time, and it closes — becoming a queue event —
+/// before anything with a different exit time is scheduled. That
+/// single-open-run discipline is what keeps cohort members contiguous in
+/// scalar schedule order: the cohort's event sequence number is assigned
+/// at close, after every member's admission and before any later
+/// schedule, so same-instant FIFO tie-breaking replays the scalar order
+/// exactly. Keying on time alone (not `(link, time)`) lets same-instant
+/// admissions onto different links — the fan-out shape — share one event.
+#[derive(Clone, Copy, Debug)]
+struct OpenRun {
+    at: SimTime,
+}
+
+/// One pending admission in the batched general path: the member and its
+/// serialization completion (`None` = dropped by the link's drop-tail
+/// queue, which consumes no netem draws).
+#[derive(Clone, Copy, Debug)]
+struct AdmitEntry {
+    m: Member,
+    serialized: Option<SimTime>,
 }
 
 /// The simulated network.
@@ -167,10 +280,14 @@ pub struct Network {
     adjacency: Vec<Vec<LinkId>>,
     queue: EventQueue<NetEvent>,
     route_cache: RouteCache,
-    /// One-entry memo in front of `route_cache`: steady traffic re-sends
-    /// along the same `(src, dst)` pair, so most lookups skip the hash map
-    /// entirely. Invalidated together with the cache.
-    last_route: Option<(usize, usize, Arc<[LinkId]>)>,
+    /// Interned routes, referenced by index from flights and the caches.
+    /// Append-only: topology changes clear the *caches*, never this
+    /// table, so ids held by packets already in flight stay valid.
+    routes: Vec<Arc<[LinkId]>>,
+    /// Direct-mapped memo in front of `route_cache`: steady traffic
+    /// re-sends along a small working set of `(src, dst)` pairs, so most
+    /// lookups are one compare. Invalidated together with the cache.
+    route_memo: Vec<RouteMemoEntry>,
     /// In-flight packet slab; slot indices are what events carry.
     flights: Vec<Option<Flight>>,
     /// Reusable slab slots (LIFO, so a forwarded packet keeps its slot).
@@ -180,6 +297,28 @@ pub struct Network {
     rng: SimRng,
     next_seq: u64,
     dropped: u64,
+    /// Which inner loop `run_until` uses.
+    drain_mode: DrainMode,
+    /// Reusable tick-drain buffer (batched mode).
+    scratch: ScratchBatch<NetEvent>,
+    /// Reusable netem batch-kernel output.
+    netem_out: NetemBatch,
+    /// Cohort slab; `CohortExit` events reference slots here.
+    cohorts: Vec<Cohort>,
+    /// Reusable cohort slots (LIFO; each keeps its member-list capacity).
+    free_cohorts: Vec<u32>,
+    /// The admission run currently accumulating, if any.
+    open_run: Option<OpenRun>,
+    /// Members of the open run, in admission order.
+    open_members: Vec<Member>,
+    /// Reusable buffer: consecutive same-next-link continuations of the
+    /// cohort currently being processed (cursor already advanced).
+    pending_admits: Vec<Member>,
+    /// Reusable buffer: general-path admission records.
+    admit_entries: Vec<AdmitEntry>,
+    /// Reusable buffer: wire sizes of serialization survivors, the batch
+    /// kernel's input.
+    admit_sizes: Vec<ByteSize>,
 }
 
 impl Network {
@@ -191,7 +330,8 @@ impl Network {
             adjacency: Vec::new(),
             queue: EventQueue::new(),
             route_cache: RouteCache::default(),
-            last_route: None,
+            routes: Vec::new(),
+            route_memo: vec![(u64::MAX, 0); ROUTE_MEMO_SLOTS],
             flights: Vec::new(),
             free_flights: Vec::new(),
             taps: Vec::new(),
@@ -199,12 +339,42 @@ impl Network {
             rng: SimRng::seed_from_u64(seed),
             next_seq: 0,
             dropped: 0,
+            drain_mode: DrainMode::from_env(),
+            scratch: ScratchBatch::new(),
+            netem_out: NetemBatch::new(),
+            cohorts: Vec::new(),
+            free_cohorts: Vec::new(),
+            open_run: None,
+            open_members: Vec::new(),
+            pending_admits: Vec::new(),
+            admit_entries: Vec::new(),
+            admit_sizes: Vec::new(),
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// The inner loop `run_until` uses.
+    pub fn drain_mode(&self) -> DrainMode {
+        self.drain_mode
+    }
+
+    /// Override the inner loop (the process default comes from
+    /// `VISIONSIM_DRAIN`). Any accumulating admission run is closed first
+    /// so no scheduled work is stranded by the switch.
+    pub fn set_drain_mode(&mut self, mode: DrainMode) {
+        self.close_run();
+        self.drain_mode = mode;
+    }
+
+    /// FNV-1a fold of the impairment RNG's position in its stream — the
+    /// scalar-vs-batched equivalence test pins this, proving the batched
+    /// path consumed draws in exactly the scalar order and count.
+    pub fn rng_fingerprint(&self) -> u64 {
+        self.rng.state_fingerprint()
     }
 
     /// The geolocation database tracking every node added so far.
@@ -226,7 +396,7 @@ impl Network {
         });
         self.adjacency.push(Vec::new());
         self.route_cache.clear();
-        self.last_route = None;
+        self.route_memo.fill((u64::MAX, 0));
         id
     }
 
@@ -255,7 +425,7 @@ impl Network {
         self.links.push(LinkState::new(from.0, to.0, config));
         self.adjacency[from.0].push(id);
         self.route_cache.clear();
-        self.last_route = None;
+        self.route_memo.fill((u64::MAX, 0));
         id
     }
 
@@ -279,7 +449,7 @@ impl Network {
     pub fn set_down(&mut self, link: LinkId, down: bool) {
         self.links[link.0].config.netem.down = down;
         self.route_cache.clear();
-        self.last_route = None;
+        self.route_memo.fill((u64::MAX, 0));
     }
 
     /// Every link touching `node` in either direction (for taking a whole
@@ -328,6 +498,7 @@ impl Network {
     /// parked in the flight slab: `nodes` and `taps` are disjoint field
     /// borrows, and the node's tap list is only read while tap storage is
     /// written — no per-packet clone of the id list.
+    #[inline]
     fn record_tap(
         nodes: &[Node],
         taps: &mut [Tap],
@@ -340,6 +511,18 @@ impl Network {
         if tap_ids.is_empty() {
             return;
         }
+        Self::record_tap_hit(taps, tap_ids, at, packet, dir);
+    }
+
+    /// Out-of-line capture body so the untapped-node check above inlines
+    /// into the send and exit paths as a single load-and-branch.
+    fn record_tap_hit(
+        taps: &mut [Tap],
+        tap_ids: &[usize],
+        at: SimTime,
+        packet: &Packet,
+        dir: TapDirection,
+    ) {
         let record = TapRecord::capture(at, packet, dir);
         for &t in tap_ids {
             taps[t].records.push(record);
@@ -351,23 +534,36 @@ impl Network {
     /// shared slice, and cached — every packet on the path carries a
     /// refcount on the same allocation.
     pub fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Arc<[LinkId]>> {
-        if let Some((s, d, r)) = &self.last_route {
-            if *s == src.0 && *d == dst.0 {
-                return Some(r.clone());
-            }
+        self.route_id(src, dst)
+            .map(|rid| self.routes[rid as usize].clone())
+    }
+
+    /// Interned-route id for `(src, dst)`: direct-mapped memo, then hash
+    /// map, then Dijkstra + interning. The id — not an `Arc` clone — is
+    /// what flights carry, so the per-send fast path moves no refcount.
+    fn route_id(&mut self, src: NodeId, dst: NodeId) -> Option<u32> {
+        let key = ((src.0 as u64) << 32) | dst.0 as u64;
+        let slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize & (ROUTE_MEMO_SLOTS - 1);
+        let (memo_key, memo_rid) = self.route_memo[slot];
+        if memo_key == key {
+            return Some(memo_rid);
         }
-        let route = match self.route_cache.get(&(src.0, dst.0)) {
-            Some(cached) => cached.clone(),
+        let rid = match self.route_cache.get(&(src.0, dst.0)) {
+            Some(&cached) => cached,
             None => {
-                let route: Option<Arc<[LinkId]>> = self.dijkstra(src.0, dst.0).map(Arc::from);
-                self.route_cache.insert((src.0, dst.0), route.clone());
-                route
+                let rid = self.dijkstra(src.0, dst.0).map(|path| {
+                    let rid = self.routes.len() as u32;
+                    self.routes.push(Arc::from(path));
+                    rid
+                });
+                self.route_cache.insert((src.0, dst.0), rid);
+                rid
             }
         };
-        if let Some(r) = &route {
-            self.last_route = Some((src.0, dst.0, r.clone()));
+        if let Some(rid) = rid {
+            self.route_memo[slot] = (key, rid);
         }
-        route
+        rid
     }
 
     fn dijkstra(&self, src: usize, dst: usize) -> Option<Vec<LinkId>> {
@@ -439,8 +635,136 @@ impl Network {
         ports: PortPair,
         payload: impl Into<Arc<[u8]>>,
     ) -> Option<u64> {
-        let route = self.route(src, dst)?;
+        let rid = self.route_id(src, dst)?;
+        let route = &self.routes[rid as usize];
         assert!(!route.is_empty(), "send to self is not supported");
+        let first = route[0];
+        self.send_one(src, dst, rid, first, ports, payload.into())
+    }
+
+    /// Send a burst of frames from `src` to `dst` as one admission batch.
+    ///
+    /// Semantically identical to calling [`Self::send`] once per frame in
+    /// order — same sequence numbers, same exit times, same RNG draw
+    /// order, same stats totals. What batching buys is amortization: the
+    /// route lookup, first-link inspection, tap probe, and (on the
+    /// batched passthrough fast arm) the open-run resolution and stats
+    /// flush all happen once per call instead of once per frame. This is
+    /// the SFU egress shape: a burst of encoded frames written to one
+    /// subscriber's socket in a single step.
+    ///
+    /// Returns the number of frames the first hop admitted, or `None`
+    /// when no route exists.
+    pub fn send_batch<I>(&mut self, src: NodeId, dst: NodeId, frames: I) -> Option<usize>
+    where
+        I: IntoIterator<Item = (PortPair, Arc<[u8]>)>,
+    {
+        let rid = self.route_id(src, dst)?;
+        let route = &self.routes[rid as usize];
+        assert!(!route.is_empty(), "send to self is not supported");
+        let first = route[0];
+        let link = &self.links[first.0];
+        // The fast arm needs every per-frame observation and branch to be
+        // provably dead: a transparent, unshaped first link (no RNG
+        // draw, no drop — admission cannot fail), batched drain mode
+        // (members stream into the open run), an untapped source, and
+        // tracing off. Anything else replays the per-frame path, which
+        // keeps the equivalence contract trivially true.
+        let fast = self.drain_mode == DrainMode::Batched
+            && link.is_passthrough()
+            && self.nodes[src.0].taps.is_empty()
+            && !trace::enabled();
+        if !fast {
+            let mut admitted = 0usize;
+            for (ports, payload) in frames {
+                if self.send_one(src, dst, rid, first, ports, payload).is_some() {
+                    admitted += 1;
+                }
+            }
+            return Some(admitted);
+        }
+        let now = self.now();
+        let exit = now + link.config.delay + link.config.netem.extra_delay;
+        // Resolve the run once: every frame in the batch exits at the
+        // same time, exactly as a per-frame loop would re-match the same
+        // open run on each send.
+        match self.open_run {
+            Some(run) if run.at == exit => {}
+            _ => {
+                self.close_run();
+                self.open_run = Some(OpenRun { at: exit });
+            }
+        }
+        let src_addr = self.nodes[src.0].addr;
+        let dst_addr = self.nodes[dst.0].addr;
+        let mut count = 0u64;
+        let mut bytes = 0u64;
+        let mut seq = self.next_seq;
+        // Members land via `extend` over a mapped iterator so an
+        // exact-size source (the common slice-of-frames case) reserves
+        // once and writes without per-frame capacity checks. The member
+        // list is taken out of `self` for the duration because the
+        // closure needs `self` for slab parking.
+        let mut open = std::mem::take(&mut self.open_members);
+        open.extend(frames.into_iter().map(|(ports, payload)| {
+            // Size comes from the payload handle before the packet is
+            // assembled: with no post-construction borrows, the flight
+            // is built straight into its slab slot.
+            let size = ByteSize::from_bytes(payload.len() as u64 + IP_UDP_OVERHEAD_BYTES);
+            let slot = self.alloc_flight(Flight {
+                packet: Packet {
+                    seq: {
+                        let s = seq;
+                        seq += 1;
+                        s
+                    },
+                    src: src_addr,
+                    dst: dst_addr,
+                    ports,
+                    payload,
+                    sent_at: now,
+                    corrupted: false,
+                },
+                route: rid,
+                hop: 0,
+                size,
+            });
+            count += 1;
+            bytes += size.as_bytes();
+            Member {
+                slot,
+                route: rid,
+                hop: 0,
+                size,
+            }
+        }));
+        self.open_members = open;
+        self.next_seq = seq;
+        let link = &mut self.links[first.0];
+        link.stats.sent += count;
+        link.stats.bytes += bytes;
+        link.stats.in_flight += count;
+        link.stats.in_flight_bytes += bytes;
+        if metrics::enabled() {
+            let metrics = net_metrics();
+            metrics.link_packets_sent.add(count);
+            metrics.link_bytes_sent.add(bytes);
+            metrics.in_flight_bytes.add(bytes as i64);
+        }
+        Some(count as usize)
+    }
+
+    /// The post-route-resolution body shared by [`Self::send`] and the
+    /// [`Self::send_batch`] fallback arm.
+    fn send_one(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        rid: u32,
+        first: LinkId,
+        ports: PortPair,
+        payload: Arc<[u8]>,
+    ) -> Option<u64> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let now = self.now();
@@ -449,16 +773,29 @@ impl Network {
             src: self.nodes[src.0].addr,
             dst: self.nodes[dst.0].addr,
             ports,
-            payload: payload.into(),
+            payload,
             sent_at: now,
             corrupted: false,
         };
+        let size = packet.wire_size();
+        // Park the flight first, then observe it from the slab: with no
+        // pre-move borrows of `packet`, the compiler can construct it
+        // straight into the slot instead of staging it on the stack.
+        let slot = self.alloc_flight(Flight {
+            packet,
+            route: rid,
+            hop: 0,
+            size,
+        });
         Self::record_tap(
             &self.nodes,
             &mut self.taps,
             src.0,
             now,
-            &packet,
+            &self.flights[slot as usize]
+                .as_ref()
+                .expect("freshly parked flight slot is empty")
+                .packet,
             TapDirection::Egress,
         );
         if trace::enabled() {
@@ -471,14 +808,13 @@ impl Network {
                 dst.0 as u64,
             );
         }
-        let first = route[0];
-        let size = packet.wire_size();
-        let slot = self.alloc_flight(Flight {
-            packet,
-            route,
+        let member = Member {
+            slot,
+            route: rid,
             hop: 0,
-        });
-        if self.admit_slot(slot, first, size) {
+            size,
+        };
+        if self.admit_slot(member, first) {
             Some(seq)
         } else {
             None
@@ -488,6 +824,7 @@ impl Network {
     /// Park a flight in the slab, reusing a freed slot when one exists.
     /// Steady-state traffic allocates nothing here: the slab grows to the
     /// in-flight high-water mark once and slots recycle LIFO.
+    #[inline]
     fn alloc_flight(&mut self, flight: Flight) -> u32 {
         match self.free_flights.pop() {
             Some(slot) => {
@@ -510,11 +847,50 @@ impl Network {
             .expect("event referenced an empty flight slot")
     }
 
-    /// Admit the flight in `slot` onto the link its cursor points at.
+    /// Admit the member's flight onto the link its cursor points at.
     /// The flight stays in its slab slot for the link crossing; only the
     /// rare duplication and drop outcomes touch the slab at all. Returns
     /// false (releasing the slot) if the link dropped the packet.
-    fn admit_slot(&mut self, slot: u32, lid: LinkId, size: ByteSize) -> bool {
+    ///
+    /// Callers guarantee the slab cursor equals `m.hop` on entry (send
+    /// admits at hop 0; the scalar exit path advances the slab cursor it
+    /// builds the member from), so the duplication clone below inherits a
+    /// correct cursor.
+    #[inline]
+    fn admit_slot(&mut self, m: Member, lid: LinkId) -> bool {
+        // Unshaped, unimpaired links (the dominant core-link case) skip
+        // the serializer and netem dispatch entirely: no RNG draw, fixed
+        // exit time. Draw-order equivalence is trivial — a transparent
+        // netem consumes nothing from the stream. Kept small (and the
+        // general path out of line) so this arm inlines into `send` and
+        // the scalar exit handler.
+        let now = self.now();
+        let link = &mut self.links[lid.0];
+        if link.is_passthrough() {
+            let size = m.size;
+            let exit = now + link.config.delay + link.config.netem.extra_delay;
+            link.stats.sent += 1;
+            link.stats.bytes += size.as_bytes();
+            link.stats.in_flight += 1;
+            link.stats.in_flight_bytes += size.as_bytes();
+            // One capture-state load gates the whole block: the registry
+            // lookup and per-counter checks are off the disabled path.
+            if metrics::enabled() {
+                let metrics = net_metrics();
+                metrics.link_packets_sent.inc();
+                metrics.link_bytes_sent.add(size.as_bytes());
+                metrics.in_flight_bytes.add(size.as_bytes() as i64);
+            }
+            self.schedule_exit(exit, m);
+            return true;
+        }
+        self.admit_slot_slow(m, lid)
+    }
+
+    /// The impaired/rate-limited arm of [`Self::admit_slot`].
+    fn admit_slot_slow(&mut self, m: Member, lid: LinkId) -> bool {
+        let slot = m.slot;
+        let size = m.size;
         let now = self.now();
         let (exit_time, dup_exit, corrupt) = {
             let link = &mut self.links[lid.0];
@@ -575,11 +951,11 @@ impl Network {
                     // Both copies are on the wire until their exits fire.
                     link.stats.in_flight += 2;
                     link.stats.in_flight_bytes += 2 * size.as_bytes();
-                    let m = net_metrics();
-                    m.link_packets_sent.inc();
-                    m.link_bytes_sent.add(size.as_bytes());
-                    m.link_dup_bytes.add(size.as_bytes());
-                    m.in_flight_bytes.add(2 * size.as_bytes() as i64);
+                    let metrics = net_metrics();
+                    metrics.link_packets_sent.inc();
+                    metrics.link_bytes_sent.add(size.as_bytes());
+                    metrics.link_dup_bytes.add(size.as_bytes());
+                    metrics.in_flight_bytes.add(2 * size.as_bytes() as i64);
                     let base = serialized + link.config.delay;
                     (base + delay, Some(base + dup_delay), corrupt)
                 }
@@ -594,96 +970,123 @@ impl Network {
         }
         if let Some(dup_at) = dup_exit {
             // The duplicate copy forwards independently from this hop on;
-            // the clone bumps the payload and route refcounts — no bytes
-            // are copied. Scheduled before the primary so same-instant
-            // FIFO tie-breaking is stable across refactors.
+            // the clone shares the payload `Arc` — no bytes are copied.
+            // Scheduled before the primary so same-instant FIFO
+            // tie-breaking is stable across refactors.
             let dup = self
                 .flights
                 .get(slot as usize)
                 .and_then(|f| f.clone())
                 .expect("duplicating an empty flight slot");
             let dup = self.alloc_flight(dup);
-            self.queue.schedule(dup_at, NetEvent::LinkExit { flight: dup });
+            self.schedule_exit(dup_at, Member { slot: dup, ..m });
+        }
+        self.schedule_exit(exit_time, m);
+        true
+    }
+
+    /// Schedule a link-exit for the member at `at`. In scalar mode this
+    /// is a direct queue insert; in batched mode the exit joins (or
+    /// opens) the accumulating admission run for `at`.
+    #[inline]
+    fn schedule_exit(&mut self, at: SimTime, m: Member) {
+        match self.drain_mode {
+            DrainMode::Scalar => self.schedule_scalar_exit(at, m),
+            DrainMode::Batched => self.enqueue_exit(at, m),
+        }
+    }
+
+    /// Create a scalar `LinkExit` for the member. The scalar exit handler
+    /// reads the route cursor from the flight slab, and a cohort-carried
+    /// cursor may have advanced past the slab's copy (batched
+    /// continuations never write the slab) — so the slab is re-synced
+    /// here, the single point where `LinkExit` events are minted.
+    fn schedule_scalar_exit(&mut self, at: SimTime, m: Member) {
+        self.flights[m.slot as usize]
+            .as_mut()
+            .expect("scheduling an exit for an empty flight slot")
+            .hop = m.hop;
+        self.queue.schedule(at, NetEvent::LinkExit { flight: m.slot });
+        if metrics::enabled() {
             net_metrics().queue_depth.add(1);
         }
-        self.queue.schedule(exit_time, NetEvent::LinkExit { flight: slot });
-        net_metrics().queue_depth.add(1);
-        true
+    }
+
+    /// Batched-mode admission: join the open run when the exit time
+    /// matches, otherwise close it and open a fresh one. The deferred
+    /// close is what turns back-to-back same-instant admissions into one
+    /// cohort event.
+    #[inline]
+    fn enqueue_exit(&mut self, at: SimTime, m: Member) {
+        match self.open_run {
+            Some(run) if run.at == at => {}
+            _ => {
+                self.close_run();
+                self.open_run = Some(OpenRun { at });
+            }
+        }
+        self.open_members.push(m);
+    }
+
+    /// Close the accumulating admission run, scheduling it as a single
+    /// `LinkExit` (one member) or a `CohortExit` referencing a pooled slot
+    /// list. Scheduling happens here — not at admission — so the event's
+    /// sequence number lands after every member and before anything
+    /// scheduled later, preserving scalar tie-break order.
+    fn close_run(&mut self) {
+        let Some(run) = self.open_run.take() else {
+            return;
+        };
+        let members = self.open_members.len();
+        if members == 0 {
+            return;
+        }
+        if metrics::enabled() {
+            let metrics = net_metrics();
+            metrics.queue_depth.add(members as i64);
+            metrics.batch_size.observe(members as u64);
+        }
+        if members == 1 {
+            let m = self.open_members[0];
+            self.open_members.clear();
+            // Single-member runs degrade to a scalar `LinkExit`, which
+            // reads the slab cursor — sync it from the member's copy.
+            self.schedule_scalar_exit_at_close(run.at, m);
+            return;
+        }
+        let c = match self.free_cohorts.pop() {
+            Some(c) => c,
+            None => {
+                let c = self.cohorts.len() as u32;
+                self.cohorts.push(Cohort::default());
+                c
+            }
+        };
+        let cohort = &mut self.cohorts[c as usize];
+        cohort.members.clear();
+        // Swap, not copy: the accumulating buffer becomes the cohort's
+        // member list and the recycled slot's empty vec (capacity intact)
+        // becomes the next accumulating buffer.
+        std::mem::swap(&mut cohort.members, &mut self.open_members);
+        self.queue.schedule(run.at, NetEvent::CohortExit { cohort: c });
+    }
+
+    /// `close_run`'s single-member case: identical to
+    /// [`Self::schedule_scalar_exit`] but without double-counting queue
+    /// depth (the member was already counted when its run was observed).
+    fn schedule_scalar_exit_at_close(&mut self, at: SimTime, m: Member) {
+        self.flights[m.slot as usize]
+            .as_mut()
+            .expect("scheduling an exit for an empty flight slot")
+            .hop = m.hop;
+        self.queue.schedule(at, NetEvent::LinkExit { flight: m.slot });
     }
 
     /// Advance the simulation to `until`, processing all traffic events.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(ev) = self.queue.pop_if_due(until) {
-            match ev.payload {
-                NetEvent::LinkExit { flight: slot } => {
-                    let at = ev.at;
-                    net_metrics().queue_depth.add(-1);
-                    // Read the cursor — and advance it when there are hops
-                    // left — without evicting the flight: a forwarded
-                    // packet stays in its slot hop after hop.
-                    let (lid, size, next) = {
-                        let flight = self.flights[slot as usize]
-                            .as_mut()
-                            .expect("event referenced an empty flight slot");
-                        let hop = flight.hop as usize;
-                        let lid = flight.route[hop];
-                        let next = flight.route.get(hop + 1).copied();
-                        if next.is_some() {
-                            flight.hop += 1;
-                        }
-                        (lid, flight.packet.wire_size(), next)
-                    };
-                    let node = {
-                        let link = &mut self.links[lid.0];
-                        link.stats.exited += 1;
-                        link.stats.exited_bytes += size.as_bytes();
-                        link.stats.in_flight -= 1;
-                        link.stats.in_flight_bytes -= size.as_bytes();
-                        link.to
-                    };
-                    let m = net_metrics();
-                    m.link_bytes_exited.add(size.as_bytes());
-                    m.in_flight_bytes.add(-(size.as_bytes() as i64));
-                    if let Some(next_lid) = next {
-                        let flight = self.flights[slot as usize]
-                            .as_ref()
-                            .expect("event referenced an empty flight slot");
-                        Self::record_tap(
-                            &self.nodes,
-                            &mut self.taps,
-                            node,
-                            at,
-                            &flight.packet,
-                            TapDirection::Transit,
-                        );
-                        self.admit_slot(slot, next_lid, size);
-                    } else {
-                        let flight = self.free_flight(slot);
-                        Self::record_tap(
-                            &self.nodes,
-                            &mut self.taps,
-                            node,
-                            at,
-                            &flight.packet,
-                            TapDirection::Ingress,
-                        );
-                        if trace::enabled() {
-                            trace::record(
-                                TraceKind::PacketDeliver,
-                                at.as_nanos(),
-                                0,
-                                flight.packet.seq,
-                                node as u64,
-                                0,
-                            );
-                        }
-                        self.nodes[node].inbox.push_back(Delivered {
-                            packet: flight.packet,
-                            at,
-                        });
-                    }
-                }
-            }
+        match self.drain_mode {
+            DrainMode::Scalar => self.run_scalar(until),
+            DrainMode::Batched => self.run_batched(until),
         }
         // Advance the clock even if idle — a bare clock move, not the
         // handler machinery of `EventQueue::run_until`.
@@ -715,9 +1118,552 @@ impl Network {
         }
     }
 
+    /// The reference loop: one heap pop per event.
+    fn run_scalar(&mut self, until: SimTime) {
+        while let Some(ev) = self.queue.pop_if_due(until) {
+            match ev.payload {
+                NetEvent::LinkExit { flight } => {
+                    if metrics::enabled() {
+                        net_metrics().queue_depth.add(-1);
+                    }
+                    self.process_exit(ev.at, flight);
+                }
+                // Only scheduled in batched mode, but a mid-run mode
+                // switch must still drain what is already queued.
+                NetEvent::CohortExit { cohort } => self.process_cohort(ev.at, cohort),
+            }
+        }
+    }
+
+    /// The batched loop: drain the whole due tick into the scratch buffer,
+    /// then process it in sequence order. Any event a handler schedules
+    /// carries a later sequence number and a timestamp at or after the
+    /// tick, so it lands in a later drain exactly where the scalar pop
+    /// order would have placed it.
+    fn run_batched(&mut self, until: SimTime) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        loop {
+            // An accumulating run may be due inside the next tick — it
+            // must be schedulable before we look at the heap.
+            self.close_run();
+            let n = self.queue.drain_due_into(until, &mut scratch);
+            if n == 0 {
+                break;
+            }
+            if metrics::enabled() {
+                net_metrics().batch_drains.inc();
+            }
+            for i in 0..n {
+                let at = scratch.at(i);
+                match *scratch.payload(i) {
+                    NetEvent::LinkExit { flight } => {
+                        if metrics::enabled() {
+                            net_metrics().queue_depth.add(-1);
+                        }
+                        self.process_exit(at, flight);
+                    }
+                    NetEvent::CohortExit { cohort } => self.process_cohort(at, cohort),
+                }
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    /// Pop one flight out at the tail of the link its cursor points at:
+    /// exit bookkeeping, then either admission onto the next hop or
+    /// delivery into the destination inbox. Shared by both loops.
+    fn process_exit(&mut self, at: SimTime, slot: u32) {
+        // Read the cursor — and advance it when there are hops left —
+        // without evicting the flight: a forwarded packet stays in its
+        // slot hop after hop.
+        let (lid, size, next, member) = {
+            let flight = self.flights[slot as usize]
+                .as_mut()
+                .expect("event referenced an empty flight slot");
+            let route = &self.routes[flight.route as usize];
+            let hop = flight.hop as usize;
+            let lid = route[hop];
+            let next = route.get(hop + 1).copied();
+            if next.is_some() {
+                flight.hop += 1;
+            }
+            let member = Member {
+                slot,
+                route: flight.route,
+                hop: flight.hop,
+                size: flight.size,
+            };
+            (lid, flight.size, next, member)
+        };
+        let node = {
+            let link = &mut self.links[lid.0];
+            link.stats.exited += 1;
+            link.stats.exited_bytes += size.as_bytes();
+            link.stats.in_flight -= 1;
+            link.stats.in_flight_bytes -= size.as_bytes();
+            link.to
+        };
+        if metrics::enabled() {
+            let m = net_metrics();
+            m.link_bytes_exited.add(size.as_bytes());
+            m.in_flight_bytes.add(-(size.as_bytes() as i64));
+        }
+        if let Some(next_lid) = next {
+            let flight = self.flights[slot as usize]
+                .as_ref()
+                .expect("event referenced an empty flight slot");
+            Self::record_tap(
+                &self.nodes,
+                &mut self.taps,
+                node,
+                at,
+                &flight.packet,
+                TapDirection::Transit,
+            );
+            self.admit_slot(member, next_lid);
+        } else {
+            let flight = self.free_flight(slot);
+            Self::record_tap(
+                &self.nodes,
+                &mut self.taps,
+                node,
+                at,
+                &flight.packet,
+                TapDirection::Ingress,
+            );
+            if trace::enabled() {
+                trace::record(
+                    TraceKind::PacketDeliver,
+                    at.as_nanos(),
+                    0,
+                    flight.packet.seq,
+                    node as u64,
+                    0,
+                );
+            }
+            self.nodes[node].inbox.push_back(Delivered {
+                packet: flight.packet,
+                at,
+            });
+        }
+    }
+
+    /// Pop a whole cohort of same-instant exits: per-member cursor
+    /// advance, tap/delivery bookkeeping, and next-hop admission. Member
+    /// iteration order is admission order, which is the scalar processing
+    /// order. Exit stats are amortized over consecutive same-link members
+    /// (one update per run — the whole cohort on a forwarding chain), and
+    /// continuations onto a passthrough next link stream straight into
+    /// the accumulating admission run with one stats update per target;
+    /// only impaired or rate-limited targets buffer for the batch kernel.
+    fn process_cohort(&mut self, at: SimTime, cohort: u32) {
+        // Take the member list out of the slab slot (keeping capacity);
+        // the slot itself is only recycled at the end, after the list is
+        // returned — admissions below may allocate fresh cohorts.
+        let mut members = std::mem::take(&mut self.cohorts[cohort as usize].members);
+        if metrics::enabled() {
+            net_metrics().queue_depth.add(-(members.len() as i64));
+        }
+        let tracing = trace::enabled();
+        // Fast streaming is a batched-mode move: in scalar mode (a
+        // leftover cohort after a mid-run switch) every continuation
+        // buffers through `admit_batch`, whose scalar arm mints proper
+        // `LinkExit` events instead of feeding a run nothing would close.
+        let batched = self.drain_mode == DrainMode::Batched;
+        // Segment-wise processing: cohort members overwhelmingly arrive
+        // in runs sharing one `(route, hop)` cursor (a burst moving down
+        // one chain, or an SFU batch per subscriber link), so the loop
+        // scans each run once, resolves the link and continuation once,
+        // and dispatches the whole segment through a branch-free body —
+        // a straight member copy with the cursor advanced for
+        // passthrough continuations, a tight slab-to-inbox loop for
+        // deliveries. Taps, tracing, and impaired continuations drop to
+        // per-member handling inside the segment.
+        //
+        // Exit-side stats accumulate across consecutive segments on the
+        // same link; admission-side runs accumulate across consecutive
+        // segments with the same continuation target (delivering
+        // segments never split a run — admission order among continuing
+        // members is exactly what the scalar loop sees).
+        let mut cur_lid = usize::MAX;
+        let mut ex_count = 0u64;
+        let mut ex_bytes = 0u64;
+        let mut adm_lid: Option<LinkId> = None;
+        let mut adm_fast = false;
+        let mut adm_count = 0u64;
+        let mut adm_bytes = 0u64;
+        debug_assert!(self.pending_admits.is_empty());
+        let n = members.len();
+        let mut i = 0usize;
+        while i < n {
+            let m0 = members[i];
+            let key = (m0.route, m0.hop);
+            let mut j = i + 1;
+            while j < n && (members[j].route, members[j].hop) == key {
+                j += 1;
+            }
+            let seg = &members[i..j];
+            let route = &self.routes[m0.route as usize];
+            let lid = route[m0.hop as usize];
+            let next = route.get(m0.hop as usize + 1).copied();
+            let node = self.links[lid.0].to;
+            let has_taps = !self.nodes[node].taps.is_empty();
+            let seg_count = seg.len() as u64;
+            let seg_bytes: u64 = seg.iter().map(|m| m.size.as_bytes()).sum();
+            if lid.0 != cur_lid {
+                if ex_count > 0 {
+                    self.flush_exit_stats(cur_lid, ex_count, ex_bytes);
+                }
+                cur_lid = lid.0;
+                ex_count = 0;
+                ex_bytes = 0;
+            }
+            ex_count += seg_count;
+            ex_bytes += seg_bytes;
+            if let Some(next_lid) = next {
+                if has_taps {
+                    for m in seg {
+                        let flight = self.flights[m.slot as usize]
+                            .as_ref()
+                            .expect("cohort referenced an empty flight slot");
+                        Self::record_tap(
+                            &self.nodes,
+                            &mut self.taps,
+                            node,
+                            at,
+                            &flight.packet,
+                            TapDirection::Transit,
+                        );
+                    }
+                }
+                if adm_lid != Some(next_lid) {
+                    if adm_fast {
+                        self.flush_fast_admit(adm_lid, adm_count, adm_bytes);
+                        adm_count = 0;
+                        adm_bytes = 0;
+                    } else {
+                        self.flush_admissions(at, adm_lid);
+                    }
+                    adm_lid = Some(next_lid);
+                    let link = &self.links[next_lid.0];
+                    adm_fast = batched && link.is_passthrough();
+                    if adm_fast {
+                        let adm_exit = at + link.config.delay + link.config.netem.extra_delay;
+                        // Resolve the open run once per target: nothing
+                        // between two fast segments of the same target
+                        // touches the run (deliveries, taps, and stat
+                        // flushes don't schedule), so segments can
+                        // append directly below.
+                        match self.open_run {
+                            Some(run) if run.at == adm_exit => {}
+                            _ => {
+                                self.close_run();
+                                self.open_run = Some(OpenRun { at: adm_exit });
+                            }
+                        }
+                    }
+                }
+                if adm_fast {
+                    self.open_members.extend(seg.iter().map(|&m| Member {
+                        hop: m.hop + 1,
+                        ..m
+                    }));
+                    adm_count += seg_count;
+                    adm_bytes += seg_bytes;
+                } else {
+                    self.pending_admits.extend(seg.iter().map(|&m| Member {
+                        hop: m.hop + 1,
+                        ..m
+                    }));
+                }
+            } else if !has_taps && !tracing {
+                // Bulk slot retirement: the whole segment's slots join
+                // the free list in one extend, and the inbox borrow is
+                // hoisted so the loop is slab-read + queue-write only.
+                self.free_flights.extend(seg.iter().map(|m| m.slot));
+                let inbox = &mut self.nodes[node].inbox;
+                for &m in seg {
+                    let flight = self.flights[m.slot as usize]
+                        .take()
+                        .expect("cohort referenced an empty flight slot");
+                    inbox.push_back(Delivered {
+                        packet: flight.packet,
+                        at,
+                    });
+                }
+            } else {
+                for &m in seg {
+                    let flight = self.free_flight(m.slot);
+                    if has_taps {
+                        Self::record_tap(
+                            &self.nodes,
+                            &mut self.taps,
+                            node,
+                            at,
+                            &flight.packet,
+                            TapDirection::Ingress,
+                        );
+                    }
+                    if tracing {
+                        trace::record(
+                            TraceKind::PacketDeliver,
+                            at.as_nanos(),
+                            0,
+                            flight.packet.seq,
+                            node as u64,
+                            0,
+                        );
+                    }
+                    self.nodes[node].inbox.push_back(Delivered {
+                        packet: flight.packet,
+                        at,
+                    });
+                }
+            }
+            i = j;
+        }
+        if ex_count > 0 {
+            self.flush_exit_stats(cur_lid, ex_count, ex_bytes);
+        }
+        if adm_fast {
+            self.flush_fast_admit(adm_lid, adm_count, adm_bytes);
+        } else {
+            self.flush_admissions(at, adm_lid);
+        }
+        // Return the member list (capacity intact) and recycle the slot.
+        members.clear();
+        self.cohorts[cohort as usize].members = members;
+        self.free_cohorts.push(cohort);
+    }
+
+    /// Exit bookkeeping for a run of same-link cohort members.
+    fn flush_exit_stats(&mut self, lid: usize, count: u64, bytes: u64) {
+        let link = &mut self.links[lid];
+        link.stats.exited += count;
+        link.stats.exited_bytes += bytes;
+        link.stats.in_flight -= count;
+        link.stats.in_flight_bytes -= bytes;
+        if metrics::enabled() {
+            let m = net_metrics();
+            m.link_bytes_exited.add(bytes);
+            m.in_flight_bytes.add(-(bytes as i64));
+        }
+    }
+
+    /// Admission bookkeeping for a streamed run of passthrough
+    /// continuations (their exits are already in the open run).
+    fn flush_fast_admit(&mut self, lid: Option<LinkId>, count: u64, bytes: u64) {
+        let Some(lid) = lid else {
+            return;
+        };
+        if count == 0 {
+            return;
+        }
+        let link = &mut self.links[lid.0];
+        link.stats.sent += count;
+        link.stats.bytes += bytes;
+        link.stats.in_flight += count;
+        link.stats.in_flight_bytes += bytes;
+        if metrics::enabled() {
+            let m = net_metrics();
+            m.link_packets_sent.add(count);
+            m.link_bytes_sent.add(bytes);
+            m.in_flight_bytes.add(bytes as i64);
+        }
+    }
+
+    /// Admit the buffered run of continuations onto `lid`, if any.
+    fn flush_admissions(&mut self, at: SimTime, lid: Option<LinkId>) {
+        let Some(lid) = lid else {
+            return;
+        };
+        if self.pending_admits.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_admits);
+        self.admit_batch(at, lid, &pending);
+        self.pending_admits = pending;
+        self.pending_admits.clear();
+    }
+
+    /// Admit a run of flights onto `lid`, packet-for-packet equivalent to
+    /// calling `admit_slot` on each in order. The passthrough fast path
+    /// (no rate bottleneck, transparent netem — the overwhelming case on
+    /// forwarding cores) schedules the whole run against one precomputed
+    /// exit time with one stats/metrics update; everything else funnels
+    /// through the netem batch kernel, whose draw order is the scalar
+    /// order by construction.
+    fn admit_batch(&mut self, at: SimTime, lid: LinkId, members: &[Member]) {
+        debug_assert_eq!(at, self.now());
+        let now = at;
+        if self.links[lid.0].is_passthrough() {
+            let link = &self.links[lid.0];
+            let exit = now + link.config.delay + link.config.netem.extra_delay;
+            let bytes: u64 = members.iter().map(|m| m.size.as_bytes()).sum();
+            let count = members.len() as u64;
+            let link = &mut self.links[lid.0];
+            link.stats.sent += count;
+            link.stats.bytes += bytes;
+            link.stats.in_flight += count;
+            link.stats.in_flight_bytes += bytes;
+            if metrics::enabled() {
+                let metrics = net_metrics();
+                metrics.link_packets_sent.add(count);
+                metrics.link_bytes_sent.add(bytes);
+                metrics.in_flight_bytes.add(bytes as i64);
+            }
+            if self.drain_mode == DrainMode::Batched {
+                // The whole run shares one exit instant: join or open the
+                // accumulating run once and bulk-append, instead of
+                // re-matching the target per packet.
+                match self.open_run {
+                    Some(run) if run.at == exit => {}
+                    _ => {
+                        self.close_run();
+                        self.open_run = Some(OpenRun { at: exit });
+                    }
+                }
+                self.open_members.extend_from_slice(members);
+            } else {
+                for &m in members {
+                    self.schedule_exit(exit, m);
+                }
+            }
+            return;
+        }
+        // General path: serialize every packet first (serialization draws
+        // no randomness and queue-dropped packets skip netem on the scalar
+        // path too), then run the batch kernel over the survivors, then
+        // apply verdicts in admission order.
+        let mut entries = std::mem::take(&mut self.admit_entries);
+        let mut surv_sizes = std::mem::take(&mut self.admit_sizes);
+        entries.clear();
+        surv_sizes.clear();
+        for &m in members {
+            let serialized = self.links[lid.0].serialize(now, m.size);
+            if serialized.is_some() {
+                surv_sizes.push(m.size);
+            }
+            entries.push(AdmitEntry { m, serialized });
+        }
+        let mut out = std::mem::take(&mut self.netem_out);
+        self.links[lid.0]
+            .config
+            .netem
+            .apply_batch(now, &surv_sizes, &mut self.rng, &mut out);
+        let mut verdict_idx = 0;
+        for &AdmitEntry { m, serialized } in &entries {
+            let slot = m.slot;
+            let size = m.size;
+            let Some(serialized) = serialized else {
+                // Drop-tail queue drop; `serialize` already counted it.
+                self.dropped += 1;
+                net_metrics().packets_dropped.inc();
+                let flight = self.free_flight(slot);
+                if trace::enabled() {
+                    trace::record(
+                        TraceKind::PacketDrop,
+                        now.as_nanos(),
+                        0,
+                        flight.packet.seq,
+                        lid.0 as u64,
+                        0,
+                    );
+                }
+                continue;
+            };
+            let verdict = out.verdicts()[verdict_idx];
+            verdict_idx += 1;
+            match verdict {
+                NetemVerdict::Drop => {
+                    self.links[lid.0].stats.netem_drops += 1;
+                    self.dropped += 1;
+                    net_metrics().packets_dropped.inc();
+                    let flight = self.free_flight(slot);
+                    if trace::enabled() {
+                        trace::record(
+                            TraceKind::PacketDrop,
+                            now.as_nanos(),
+                            0,
+                            flight.packet.seq,
+                            lid.0 as u64,
+                            0,
+                        );
+                    }
+                }
+                NetemVerdict::Deliver { delay, corrupt } => {
+                    let link = &mut self.links[lid.0];
+                    link.stats.sent += 1;
+                    link.stats.bytes += size.as_bytes();
+                    link.stats.in_flight += 1;
+                    link.stats.in_flight_bytes += size.as_bytes();
+                    let metrics = net_metrics();
+                    metrics.link_packets_sent.inc();
+                    metrics.link_bytes_sent.add(size.as_bytes());
+                    metrics.in_flight_bytes.add(size.as_bytes() as i64);
+                    let exit = serialized + link.config.delay + delay;
+                    if corrupt {
+                        self.flights[slot as usize]
+                            .as_mut()
+                            .expect("corrupting an empty flight slot")
+                            .packet
+                            .corrupted = true;
+                    }
+                    self.schedule_exit(exit, m);
+                }
+                NetemVerdict::Duplicate {
+                    delay,
+                    dup_delay,
+                    corrupt,
+                } => {
+                    let link = &mut self.links[lid.0];
+                    link.stats.sent += 1;
+                    link.stats.duplicated += 1;
+                    link.stats.bytes += size.as_bytes();
+                    link.stats.dup_bytes += size.as_bytes();
+                    link.stats.in_flight += 2;
+                    link.stats.in_flight_bytes += 2 * size.as_bytes();
+                    let metrics = net_metrics();
+                    metrics.link_packets_sent.inc();
+                    metrics.link_bytes_sent.add(size.as_bytes());
+                    metrics.link_dup_bytes.add(size.as_bytes());
+                    metrics.in_flight_bytes.add(2 * size.as_bytes() as i64);
+                    let base = serialized + link.config.delay;
+                    if corrupt {
+                        self.flights[slot as usize]
+                            .as_mut()
+                            .expect("corrupting an empty flight slot")
+                            .packet
+                            .corrupted = true;
+                    }
+                    let dup = self
+                        .flights
+                        .get(slot as usize)
+                        .and_then(|f| f.clone())
+                        .expect("duplicating an empty flight slot");
+                    let dup = self.alloc_flight(dup);
+                    // Duplicate first, primary second — scalar order.
+                    self.schedule_exit(base + dup_delay, Member { slot: dup, ..m });
+                    self.schedule_exit(base + delay, m);
+                }
+            }
+        }
+        debug_assert_eq!(verdict_idx, out.len());
+        self.netem_out = out;
+        self.admit_entries = entries;
+        self.admit_sizes = surv_sizes;
+    }
+
     /// Drain the inbox of `node`.
     pub fn poll_delivered(&mut self, node: NodeId) -> Vec<Delivered> {
         self.nodes[node.0].inbox.drain(..).collect()
+    }
+
+    /// Drain the inbox of `node` as an iterator — no per-poll `Vec`
+    /// allocation, for callers (the SFU relay loop, benches) that consume
+    /// deliveries in place.
+    pub fn drain_delivered(&mut self, node: NodeId) -> impl Iterator<Item = Delivered> + '_ {
+        self.nodes[node.0].inbox.drain(..)
     }
 
     /// Number of packets waiting in `node`'s inbox.
