@@ -44,6 +44,15 @@ echo "== allocation gate: batching forced on and off =="
 VISIONSIM_DRAIN=batched cargo test -q --release --test alloc_gate
 VISIONSIM_DRAIN=scalar cargo test -q --release --test alloc_gate
 
+echo "== closed-loop congestion: conservation + convergence smoke =="
+# The token-bucket shaper must conserve bytes (offered == sent + dropped)
+# identically under both drain paths, and the AIMD loop must converge to
+# fair shares with receiver-visible drops. The scenario tests pin their
+# own drain mode internally; the env var covers the defaults.
+VISIONSIM_DRAIN=scalar cargo test -q --release -p visionsim-net --test shaper_conservation
+VISIONSIM_DRAIN=batched cargo test -q --release -p visionsim-net --test shaper_conservation
+cargo test -q --release -p visionsim-experiments congestion
+
 echo "== packet_path bench smoke + regression gate =="
 # Quick pass (few samples) to catch bit-rot in the bench harness and gross
 # datapath regressions; results go to a scratch file so the committed

@@ -75,6 +75,17 @@ pub enum TraceKind {
     /// A timing span closed. `site` = span label, `a` = seed,
     /// `c` = wall nanoseconds spent inside the span.
     SpanExit = 11,
+    /// A packet was dropped by a finite FIFO queue (drop-tail overflow at
+    /// a serializer or shaper). `a` = packet seq, `b` = link index,
+    /// `c` = packet wire bytes.
+    QueueDrop = 12,
+    /// An RTCP-style receiver report reached its sender. `a` = flow/ssrc,
+    /// `b` = loss fraction in per-mille, `c` = arrival-rate estimate in
+    /// kbps.
+    RtcpReport = 13,
+    /// A congestion controller changed state. `a` = flow/ssrc, `b` = new
+    /// state (0 increase, 1 hold, 2 decrease), `c` = target rate in kbps.
+    CtrlState = 14,
 }
 
 impl TraceKind {
@@ -93,6 +104,9 @@ impl TraceKind {
             TraceKind::CellQuarantine => "cell_quarantine",
             TraceKind::SpanEnter => "span_enter",
             TraceKind::SpanExit => "span_exit",
+            TraceKind::QueueDrop => "queue_drop",
+            TraceKind::RtcpReport => "rtcp_report",
+            TraceKind::CtrlState => "ctrl_state",
         }
     }
 
@@ -110,6 +124,9 @@ impl TraceKind {
             9 => TraceKind::CellQuarantine,
             10 => TraceKind::SpanEnter,
             11 => TraceKind::SpanExit,
+            12 => TraceKind::QueueDrop,
+            13 => TraceKind::RtcpReport,
+            14 => TraceKind::CtrlState,
             _ => return None,
         })
     }

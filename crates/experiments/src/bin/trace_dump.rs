@@ -48,6 +48,25 @@ fn render_line(ev: &TraceEvent, sites: &[String]) -> String {
             ev.a,
             if ev.b == 1 { " (watchdog)" } else { "" }
         ),
+        TraceKind::QueueDrop => format!("seq={} link={} bytes={}", ev.a, ev.b, ev.c),
+        TraceKind::RtcpReport => format!(
+            "flow={} loss={}.{}% arrival={} kbps",
+            ev.a,
+            ev.b / 10,
+            ev.b % 10,
+            ev.c
+        ),
+        TraceKind::CtrlState => format!(
+            "flow={} state={} target={} kbps",
+            ev.a,
+            match ev.b {
+                0 => "increase",
+                1 => "hold",
+                2 => "decrease",
+                _ => "?",
+            },
+            ev.c
+        ),
     };
     if label.is_empty() {
         format!("{:>16} ns  #{:<8} {:<16} {}", ev.time_ns, ev.seq, ev.kind.name(), operands)

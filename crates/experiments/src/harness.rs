@@ -121,6 +121,11 @@ pub fn registry() -> Vec<ArtifactSpec> {
             },
         },
         ArtifactSpec {
+            name: "congestion",
+            section: "closed-loop congestion: fairness + survival",
+            run: |seed| format!("{}", congestion::run(40, seed)),
+        },
+        ArtifactSpec {
             name: "ablations",
             section: "design-choice ablations",
             run: ablations_text,
@@ -607,7 +612,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_nonempty() {
         let specs = registry();
-        assert!(specs.len() >= 14);
+        assert!(specs.len() >= 15);
         let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();

@@ -22,8 +22,10 @@
 //! | [`motion_to_photon`] | end-to-end latency vs placement against the 100 ms QoE threshold |
 //! | [`discovery`] | the §4.1 methodology itself: fleet discovery from randomized sessions |
 //! | [`resilience`] | chaos drill: mid-session faults × severity × app, recovery metrics |
+//! | [`congestion`] | closed-loop congestion: fairness, cross-traffic, contention, handover |
 
 pub mod ablations;
+pub mod congestion;
 pub mod discovery;
 pub mod harness;
 pub mod display_latency;

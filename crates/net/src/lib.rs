@@ -27,6 +27,7 @@ pub mod netem;
 pub mod network;
 pub mod packet;
 pub mod probe;
+pub mod shaper;
 pub mod tap;
 
 pub use fault::{apply_to_netem, DrawPlan, FaultEvent, FaultKind, FaultPlan, GeConfig, GeKernel, GilbertElliott};
@@ -35,4 +36,5 @@ pub use netem::{Netem, NetemBatch, NetemVerdict, RateProfile, TokenBucket};
 pub use network::{Delivered, DrainMode, Network, NodeId};
 pub use packet::{Packet, PortPair, IP_UDP_OVERHEAD_BYTES};
 pub use probe::{AnycastProbe, RttProber};
+pub use shaper::{LinkShaper, QueueLimit, ShaperConfig, ShaperVerdict};
 pub use tap::{TapId, TapRecord};

@@ -6,6 +6,7 @@
 //! [`Netem`] impairments.
 
 use crate::netem::Netem;
+use crate::shaper::{self, LinkShaper, ShaperConfig, ShaperVerdict};
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::units::{ByteSize, DataRate};
 
@@ -25,6 +26,10 @@ pub struct LinkConfig {
     pub queue_limit: ByteSize,
     /// Impairments (netem/tbf analogue).
     pub netem: Netem,
+    /// Token-bucket shaper with a finite FIFO queue (`tc tbf` with a
+    /// BDP-sized queue). Applied after the serializer; its drops are
+    /// queue drops, visible to the receiver as loss.
+    pub shaper: Option<ShaperConfig>,
 }
 
 impl Default for LinkConfig {
@@ -34,6 +39,7 @@ impl Default for LinkConfig {
             rate: None,
             queue_limit: ByteSize::from_kb(256),
             netem: Netem::none(),
+            shaper: None,
         }
     }
 }
@@ -47,6 +53,7 @@ impl LinkConfig {
             rate: Some(DataRate::from_mbps(300)),
             queue_limit: ByteSize::from_kb(512),
             netem: Netem::none(),
+            shaper: None,
         }
     }
 
@@ -58,7 +65,15 @@ impl LinkConfig {
             rate: None,
             queue_limit: ByteSize::from_mb(16),
             netem: Netem::none(),
+            shaper: None,
         }
+    }
+
+    /// This config with a token-bucket shaper attached (auto 2×BDP
+    /// queue).
+    pub fn shaped(mut self, rate: DataRate) -> Self {
+        self.shaper = Some(ShaperConfig::new(rate));
+        self
     }
 }
 
@@ -75,30 +90,44 @@ pub struct LinkState {
     pub busy_until: SimTime,
     /// Bytes currently queued awaiting serialization.
     pub backlog: ByteSize,
+    /// Runtime state of the configured shaper, if any.
+    pub shaper: Option<LinkShaper>,
     /// Counters.
     pub stats: LinkStats,
 }
 
 /// Per-link counters.
 ///
-/// The sanitizer's `net/conservation` check relies on two identities that
-/// hold at every instant once a packet is accepted:
+/// The sanitizer's `net/conservation` check relies on the identities that
+/// hold at every instant:
 ///
 /// ```text
-/// sent + duplicated == exited + in_flight
-/// bytes + dup_bytes == exited_bytes + in_flight_bytes
+/// offered       == sent  + queue_drops        + netem_drops
+/// offered_bytes == bytes + queue_dropped_bytes + netem_dropped_bytes
+/// sent  + duplicated == exited + in_flight
+/// bytes + dup_bytes  == exited_bytes + in_flight_bytes
 /// ```
 ///
-/// i.e. every copy placed on the wire is either still propagating or has
-/// popped out at the tail — bytes are conserved per link.
+/// i.e. every packet presented for admission is accounted for (accepted
+/// or dropped at a named site), and every accepted copy is either still
+/// propagating or has popped out at the tail — bytes are conserved per
+/// link even with finite shaper queues dropping under overload.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LinkStats {
+    /// Packets presented for admission (accepted + dropped).
+    pub offered: u64,
+    /// Bytes presented for admission.
+    pub offered_bytes: u64,
     /// Packets accepted onto the link.
     pub sent: u64,
     /// Packets dropped by the drop-tail queue.
     pub queue_drops: u64,
+    /// Bytes dropped by the drop-tail queue (serializer or shaper).
+    pub queue_dropped_bytes: u64,
     /// Packets dropped by impairments (loss or shaper overload).
     pub netem_drops: u64,
+    /// Bytes dropped by impairments.
+    pub netem_dropped_bytes: u64,
     /// Extra copies emitted by the duplication impairment.
     pub duplicated: u64,
     /// Total payload+encapsulation bytes accepted.
@@ -119,7 +148,10 @@ impl LinkStats {
     /// True when the per-link conservation identities hold (see the type
     /// docs). Checked by the sanitizer at `net/conservation`.
     pub fn conserved(&self) -> bool {
-        self.sent + self.duplicated == self.exited + self.in_flight
+        self.offered == self.sent + self.queue_drops + self.netem_drops
+            && self.offered_bytes
+                == self.bytes + self.queue_dropped_bytes + self.netem_dropped_bytes
+            && self.sent + self.duplicated == self.exited + self.in_flight
             && self.bytes + self.dup_bytes == self.exited_bytes + self.in_flight_bytes
     }
 }
@@ -127,44 +159,75 @@ impl LinkStats {
 impl LinkState {
     /// Create a fresh link.
     pub fn new(from: usize, to: usize, config: LinkConfig) -> Self {
+        let shaper = config
+            .shaper
+            .as_ref()
+            .map(|cfg| LinkShaper::new(cfg, config.delay));
         LinkState {
             config,
             from,
             to,
             busy_until: SimTime::ZERO,
             backlog: ByteSize::ZERO,
+            shaper,
             stats: LinkStats::default(),
         }
     }
 
-    /// True when the link neither serializes (no rate bottleneck) nor
-    /// impairs beyond a fixed delay: admission is a constant-offset
-    /// schedule with no randomness and no queue, the precondition for the
-    /// batched datapath's constant-verdict admission fast path.
+    /// Attach, replace, or remove the shaper mid-run (rate cliffs rebuild
+    /// state; prefer [`LinkShaper::set_rate`] via the network accessor to
+    /// keep the queue).
+    pub fn set_shaper(&mut self, cfg: Option<ShaperConfig>) {
+        self.shaper = cfg.as_ref().map(|c| LinkShaper::new(c, self.config.delay));
+        self.config.shaper = cfg;
+    }
+
+    /// True when the link neither serializes (no rate bottleneck, no
+    /// shaper) nor impairs beyond a fixed delay: admission is a
+    /// constant-offset schedule with no randomness and no queue, the
+    /// precondition for the batched datapath's constant-verdict admission
+    /// fast path.
     #[inline]
     pub fn is_passthrough(&self) -> bool {
-        self.config.rate.is_none() && self.config.netem.is_transparent()
+        self.config.rate.is_none() && self.shaper.is_none() && self.config.netem.is_transparent()
     }
 
     /// Compute when a packet of `size` accepted at `now` finishes
-    /// serializing, updating the busy horizon. Returns `None` when the
-    /// drop-tail queue is full.
+    /// serializing (and, when a shaper is attached, clears the shaper's
+    /// finite FIFO queue), updating the busy horizon. Returns `None` when
+    /// a drop-tail queue is full. Draws no randomness: both drain loops
+    /// call this per member in the same order, so shaped links stay
+    /// bit-identical scalar-vs-batched.
     #[inline]
     pub fn serialize(&mut self, now: SimTime, size: ByteSize) -> Option<SimTime> {
-        match self.config.rate {
-            None => Some(now),
+        let serialized = match self.config.rate {
+            None => now,
             Some(rate) => {
                 let start = self.busy_until.max(now);
                 // Backlog approximated by the serialization horizon.
                 let queued = rate.bytes_in(start.since(now));
                 if queued > self.config.queue_limit {
                     self.stats.queue_drops += 1;
+                    self.stats.queue_dropped_bytes += size.as_bytes();
+                    shaper::count_queue_drop(size.as_bytes());
                     return None;
                 }
                 let tx = rate.transmit_time(size).expect("positive rate");
                 self.busy_until = start + tx;
-                Some(self.busy_until)
+                self.busy_until
             }
+        };
+        match &mut self.shaper {
+            None => Some(serialized),
+            Some(sh) => match sh.admit(serialized, size) {
+                ShaperVerdict::Deliver { dequeue } => Some(dequeue),
+                ShaperVerdict::Drop => {
+                    self.stats.queue_drops += 1;
+                    self.stats.queue_dropped_bytes += size.as_bytes();
+                    shaper::count_queue_drop(size.as_bytes());
+                    None
+                }
+            },
         }
     }
 }

@@ -570,6 +570,99 @@ mod tests {
     }
 
     #[test]
+    fn rate_profile_exact_segment_boundaries() {
+        // Bounds are exclusive ends: the instant a segment ends belongs to
+        // the next segment, and the cycle end wraps to the first.
+        let a = DataRate::from_mbps(4);
+        let b = DataRate::from_kbps(500);
+        let c = DataRate::from_mbps(2);
+        let p = RateProfile::new(vec![
+            (SimDuration::from_secs(2), a),
+            (SimDuration::from_secs(1), b),
+            (SimDuration::from_secs(3), c),
+        ]);
+        assert_eq!(p.rate_at(SimTime::ZERO), a);
+        assert_eq!(p.rate_at(SimTime::from_secs(2)), b, "first boundary");
+        assert_eq!(p.rate_at(SimTime::from_secs(3)), c, "second boundary");
+        // The cycle end (t == cycle) is offset 0 again.
+        assert_eq!(p.rate_at(SimTime::from_secs(6)), a, "cycle wrap");
+        // One nanosecond either side of a boundary.
+        let ns = SimDuration::from_nanos(1);
+        assert_eq!(p.rate_at(SimTime::from_secs(2) - ns), a);
+        assert_eq!(p.rate_at(SimTime::from_secs(2) + ns), b);
+        assert_eq!(p.rate_at(SimTime::from_secs(6) - ns), c);
+        assert_eq!(p.rate_at(SimTime::from_secs(6) + ns), a);
+    }
+
+    #[test]
+    fn rate_profile_before_first_and_after_last_boundary() {
+        let a = DataRate::from_mbps(8);
+        let b = DataRate::from_kbps(160);
+        let p = RateProfile::new(vec![
+            (SimDuration::from_millis(10), a),
+            (SimDuration::from_millis(5), b),
+        ]);
+        // Strictly inside the first segment (before the first bound).
+        assert_eq!(p.rate_at(SimTime::from_millis(3)), a);
+        // Past the last bound: offsets reduce mod the 15 ms cycle, however
+        // many cycles out the query lands.
+        assert_eq!(p.rate_at(SimTime::from_millis(26)), b); // 26 % 15 = 11
+        // Huge t: 1000 s mod 15 ms is exactly the 10 ms bound — second
+        // segment (exclusive ends).
+        assert_eq!(p.rate_at(SimTime::from_secs(1_000)), b);
+        assert_eq!(
+            p.rate_at(SimTime::from_nanos(u64::MAX / 2)),
+            p.rate_at(SimTime::from_nanos((u64::MAX / 2) % 15_000_000))
+        );
+    }
+
+    #[test]
+    fn rate_profile_out_of_order_queries_do_not_stale_the_cache() {
+        // The cached segment index is an accelerator only: alternating
+        // lookups that bounce between segments (and wrap the cycle) must
+        // return exactly what a fresh binary search would.
+        let rates = [
+            DataRate::from_mbps(1),
+            DataRate::from_mbps(2),
+            DataRate::from_mbps(3),
+            DataRate::from_mbps(4),
+        ];
+        let p = RateProfile::new(
+            rates
+                .iter()
+                .map(|&r| (SimDuration::from_millis(100), r))
+                .collect(),
+        );
+        let fresh = |t: SimTime| {
+            // Reference: uncached lookup on a new profile.
+            let q = RateProfile::new(
+                rates
+                    .iter()
+                    .map(|&r| (SimDuration::from_millis(100), r))
+                    .collect(),
+            );
+            q.rate_at(t)
+        };
+        // A hostile query order: forward, backward, same-instant repeats,
+        // boundary hits, cycle wraps.
+        let times_ms = [
+            350u64, 50, 50, 399, 0, 250, 100, 99, 700, 300, 1_000_000, 150, 400, 401,
+        ];
+        for &ms in &times_ms {
+            let t = SimTime::from_millis(ms);
+            assert_eq!(p.rate_at(t), fresh(t), "stale cache at t={ms} ms");
+        }
+    }
+
+    #[test]
+    fn rate_profile_single_segment_is_constant() {
+        let p = RateProfile::new(vec![(SimDuration::from_millis(7), DataRate::from_mbps(6))]);
+        for ms in [0u64, 3, 7, 14, 20, 999] {
+            assert_eq!(p.rate_at(SimTime::from_millis(ms)), DataRate::from_mbps(6));
+        }
+    }
+
+    #[test]
     fn profiled_netem_throttles_during_the_dip() {
         // 2 s at 8 Mbps, 1 s at 160 kbps, cycling. Offer 1.6 Mbps steadily;
         // during dips the shaper backlog fills and drops engage.

@@ -441,6 +441,21 @@ impl Network {
         &mut self.links[link.0].config.netem
     }
 
+    /// Mutable access to the link's token-bucket shaper, if one is
+    /// attached. Use [`crate::LinkShaper::set_rate`] through this to model
+    /// a capacity change that keeps the queued backlog (WiFi duty cycle,
+    /// handover rate cliff).
+    pub fn shaper_mut(&mut self, link: LinkId) -> Option<&mut crate::shaper::LinkShaper> {
+        self.links[link.0].shaper.as_mut()
+    }
+
+    /// Attach, replace, or remove a link's shaper. Rebuilds shaper state
+    /// from scratch (empty queue, full burst). The route cache is
+    /// untouched — shaping does not change topology.
+    pub fn set_shaper(&mut self, link: LinkId, cfg: Option<crate::shaper::ShaperConfig>) {
+        self.links[link.0].set_shaper(cfg);
+    }
+
     /// Take a link down (or back up) *and* invalidate the route cache, so
     /// subsequently-sent packets route around it. Plain `netem_mut` with
     /// `down = true` keeps existing routes — packets blackhole on the dead
@@ -741,6 +756,8 @@ impl Network {
         self.open_members = open;
         self.next_seq = seq;
         let link = &mut self.links[first.0];
+        link.stats.offered += count;
+        link.stats.offered_bytes += bytes;
         link.stats.sent += count;
         link.stats.bytes += bytes;
         link.stats.in_flight += count;
@@ -869,6 +886,8 @@ impl Network {
         if link.is_passthrough() {
             let size = m.size;
             let exit = now + link.config.delay + link.config.netem.extra_delay;
+            link.stats.offered += 1;
+            link.stats.offered_bytes += size.as_bytes();
             link.stats.sent += 1;
             link.stats.bytes += size.as_bytes();
             link.stats.in_flight += 1;
@@ -894,18 +913,20 @@ impl Network {
         let now = self.now();
         let (exit_time, dup_exit, corrupt) = {
             let link = &mut self.links[lid.0];
+            link.stats.offered += 1;
+            link.stats.offered_bytes += size.as_bytes();
             let Some(serialized) = link.serialize(now, size) else {
                 self.dropped += 1;
                 net_metrics().packets_dropped.inc();
                 let flight = self.free_flight(slot);
                 if trace::enabled() {
                     trace::record(
-                        TraceKind::PacketDrop,
+                        TraceKind::QueueDrop,
                         now.as_nanos(),
                         0,
                         flight.packet.seq,
                         lid.0 as u64,
-                        0,
+                        size.as_bytes(),
                     );
                 }
                 return false;
@@ -913,6 +934,7 @@ impl Network {
             match link.config.netem.apply(now, size, &mut self.rng) {
                 NetemVerdict::Drop => {
                     link.stats.netem_drops += 1;
+                    link.stats.netem_dropped_bytes += size.as_bytes();
                     self.dropped += 1;
                     net_metrics().packets_dropped.inc();
                     let flight = self.free_flight(slot);
@@ -1100,15 +1122,23 @@ impl Network {
                 let s = link.stats;
                 sanitizer::check(s.conserved(), "net/conservation", || {
                     format!(
-                        "link {i} ({}→{}): sent={} duplicated={} exited={} in_flight={} \
-                         bytes={} dup_bytes={} exited_bytes={} in_flight_bytes={}",
+                        "link {i} ({}→{}): offered={} sent={} queue_drops={} netem_drops={} \
+                         duplicated={} exited={} in_flight={} offered_bytes={} bytes={} \
+                         queue_dropped_bytes={} netem_dropped_bytes={} dup_bytes={} \
+                         exited_bytes={} in_flight_bytes={}",
                         link.from,
                         link.to,
+                        s.offered,
                         s.sent,
+                        s.queue_drops,
+                        s.netem_drops,
                         s.duplicated,
                         s.exited,
                         s.in_flight,
+                        s.offered_bytes,
                         s.bytes,
+                        s.queue_dropped_bytes,
+                        s.netem_dropped_bytes,
                         s.dup_bytes,
                         s.exited_bytes,
                         s.in_flight_bytes
@@ -1460,6 +1490,8 @@ impl Network {
             return;
         }
         let link = &mut self.links[lid.0];
+        link.stats.offered += count;
+        link.stats.offered_bytes += bytes;
         link.stats.sent += count;
         link.stats.bytes += bytes;
         link.stats.in_flight += count;
@@ -1502,6 +1534,8 @@ impl Network {
             let bytes: u64 = members.iter().map(|m| m.size.as_bytes()).sum();
             let count = members.len() as u64;
             let link = &mut self.links[lid.0];
+            link.stats.offered += count;
+            link.stats.offered_bytes += bytes;
             link.stats.sent += count;
             link.stats.bytes += bytes;
             link.stats.in_flight += count;
@@ -1540,7 +1574,10 @@ impl Network {
         entries.clear();
         surv_sizes.clear();
         for &m in members {
-            let serialized = self.links[lid.0].serialize(now, m.size);
+            let link = &mut self.links[lid.0];
+            link.stats.offered += 1;
+            link.stats.offered_bytes += m.size.as_bytes();
+            let serialized = link.serialize(now, m.size);
             if serialized.is_some() {
                 surv_sizes.push(m.size);
             }
@@ -1562,12 +1599,12 @@ impl Network {
                 let flight = self.free_flight(slot);
                 if trace::enabled() {
                     trace::record(
-                        TraceKind::PacketDrop,
+                        TraceKind::QueueDrop,
                         now.as_nanos(),
                         0,
                         flight.packet.seq,
                         lid.0 as u64,
-                        0,
+                        size.as_bytes(),
                     );
                 }
                 continue;
@@ -1576,7 +1613,9 @@ impl Network {
             verdict_idx += 1;
             match verdict {
                 NetemVerdict::Drop => {
-                    self.links[lid.0].stats.netem_drops += 1;
+                    let stats = &mut self.links[lid.0].stats;
+                    stats.netem_drops += 1;
+                    stats.netem_dropped_bytes += size.as_bytes();
                     self.dropped += 1;
                     net_metrics().packets_dropped.inc();
                     let flight = self.free_flight(slot);

@@ -13,11 +13,12 @@
 use visionsim_core::par::derive_seed;
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
-use visionsim_core::units::DataRate;
+use visionsim_core::units::{ByteSize, DataRate};
 use visionsim_geo::coords::GeoPoint;
 use visionsim_net::fault::{apply_to_netem, FaultPlan, GeConfig};
 use visionsim_net::link::{LinkConfig, LinkId};
 use visionsim_net::netem::RateProfile;
+use visionsim_net::shaper::{QueueLimit, ShaperConfig};
 use visionsim_net::network::{DrainMode, Network, NodeId};
 use visionsim_net::packet::PortPair;
 
@@ -58,20 +59,21 @@ fn scenario_digest(seed: u64, mode: DrainMode) -> String {
     // branch: independent loss, GE, jitter, reorder/duplicate/corrupt,
     // shaper, and a rate profile.
     for lid in 0..n_links {
-        let netem = net.netem_mut(LinkId(lid));
-        match shape.uniform_u64(0, 7) {
-            0 => netem.loss = 0.02 + shape.uniform() * 0.2,
+        match shape.uniform_u64(0, 8) {
+            0 => net.netem_mut(LinkId(lid)).loss = 0.02 + shape.uniform() * 0.2,
             1 => {
+                let netem = net.netem_mut(LinkId(lid));
                 netem.jitter = SimDuration::from_micros(shape.uniform_u64(10, 3_000));
                 netem.corrupt = shape.uniform() * 0.1;
             }
             2 => {
+                let netem = net.netem_mut(LinkId(lid));
                 netem.reorder = shape.uniform() * 0.3;
                 netem.reorder_extra = SimDuration::from_millis(shape.uniform_u64(1, 20));
                 netem.duplicate = shape.uniform() * 0.2;
             }
             3 => {
-                netem.profile = Some(RateProfile::new(vec![
+                net.netem_mut(LinkId(lid)).profile = Some(RateProfile::new(vec![
                     (
                         SimDuration::from_millis(200 + shape.uniform_u64(0, 400)),
                         DataRate::from_mbps(4 + shape.uniform_u64(0, 20)),
@@ -81,6 +83,18 @@ fn scenario_digest(seed: u64, mode: DrainMode) -> String {
                         DataRate::from_kbps(300 + shape.uniform_u64(0, 700)),
                     ),
                 ]));
+            }
+            4 => {
+                // Token-bucket link shaper with a finite FIFO queue: forces
+                // every admission off the passthrough fast arms and
+                // produces real queue drops in both drain modes.
+                let rate = DataRate::from_kbps(400 + shape.uniform_u64(0, 3_600));
+                let queue = match shape.uniform_u64(0, 2) {
+                    0 => QueueLimit::Auto,
+                    1 => QueueLimit::Bytes(ByteSize::from_kb(4 + shape.uniform_u64(0, 60))),
+                    _ => QueueLimit::Packets(4 + shape.uniform_u64(0, 28) as u32),
+                };
+                net.set_shaper(LinkId(lid), Some(ShaperConfig::with_queue(rate, queue)));
             }
             _ => {}
         }

@@ -26,5 +26,5 @@ pub mod rtp;
 
 pub use classify::{classify, WireProtocol};
 pub use quic::{QuicFrame, QuicPacket};
-pub use rtcp::{PliPacket, ReceiverReportPacket};
+pub use rtcp::{PliPacket, ReceiverReportPacket, XrPacket};
 pub use rtp::{PayloadType, RtpHeader, RtpPacket};

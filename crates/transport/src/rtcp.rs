@@ -75,10 +75,11 @@ impl ReceiverReportPacket {
     }
 
     /// True when a packet's first bytes look like RTCP (for the passive
-    /// classifier: version 2 + packet type in the RTCP range 200..=206,
-    /// which covers SR/RR/SDES/BYE/APP and the RTPFB/PSFB feedback types).
+    /// classifier: version 2 + packet type in the RTCP range 200..=207,
+    /// which covers SR/RR/SDES/BYE/APP, the RTPFB/PSFB feedback types,
+    /// and XR extended reports).
     pub fn looks_like_rtcp(snippet: &[u8]) -> bool {
-        snippet.len() >= 2 && snippet[0] >> 6 == 2 && (200..=206).contains(&snippet[1])
+        snippet.len() >= 2 && snippet[0] >> 6 == 2 && (200..=207).contains(&snippet[1])
     }
 }
 
@@ -129,6 +130,57 @@ impl PliPacket {
         Some(PliPacket {
             reporter_ssrc: u32::from_be_bytes(bytes[4..8].try_into().ok()?),
             source_ssrc: u32::from_be_bytes(bytes[8..12].try_into().ok()?),
+        })
+    }
+}
+
+/// RTCP packet type for extended reports (RFC 3611).
+pub const PT_XR: u8 = 207;
+
+/// Serialized XR length.
+pub const XR_LEN: usize = 20;
+
+/// A (simplified) extended report carrying the congestion-control signals
+/// a plain RR lacks: interarrival jitter and the receiver's arrival-rate
+/// estimate. Sent alongside the RR on the same deterministic cadence; a
+/// GCC/BBR-flavored controller uses the pair (RR loss + XR delay/rate) to
+/// pick its next target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XrPacket {
+    /// SSRC of the reporting receiver.
+    pub reporter_ssrc: u32,
+    /// SSRC of the source being reported on.
+    pub source_ssrc: u32,
+    /// Smoothed interarrival jitter, microseconds.
+    pub jitter_us: u32,
+    /// Arrival-rate estimate over the report interval, kbps.
+    pub arrival_kbps: u32,
+}
+
+impl XrPacket {
+    /// Serialize to wire form.
+    pub fn to_bytes(&self) -> [u8; XR_LEN] {
+        let mut b = [0u8; XR_LEN];
+        b[0] = 0x80; // V=2, P=0, reserved=0
+        b[1] = PT_XR;
+        b[2..4].copy_from_slice(&((XR_LEN as u16 / 4) - 1).to_be_bytes());
+        b[4..8].copy_from_slice(&self.reporter_ssrc.to_be_bytes());
+        b[8..12].copy_from_slice(&self.source_ssrc.to_be_bytes());
+        b[12..16].copy_from_slice(&self.jitter_us.to_be_bytes());
+        b[16..20].copy_from_slice(&self.arrival_kbps.to_be_bytes());
+        b
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(bytes: &[u8]) -> Option<XrPacket> {
+        if bytes.len() < XR_LEN || bytes[0] >> 6 != 2 || bytes[1] != PT_XR {
+            return None;
+        }
+        Some(XrPacket {
+            reporter_ssrc: u32::from_be_bytes(bytes[4..8].try_into().ok()?),
+            source_ssrc: u32::from_be_bytes(bytes[8..12].try_into().ok()?),
+            jitter_us: u32::from_be_bytes(bytes[12..16].try_into().ok()?),
+            arrival_kbps: u32::from_be_bytes(bytes[16..20].try_into().ok()?),
         })
     }
 }
@@ -189,7 +241,8 @@ mod tests {
         assert!(!ReceiverReportPacket::looks_like_rtcp(&[0x80, 96])); // RTP PT 96
         assert!(!ReceiverReportPacket::looks_like_rtcp(&[0x41, 201])); // wrong version
         assert!(ReceiverReportPacket::looks_like_rtcp(&[0x81, 206])); // PSFB
-        assert!(!ReceiverReportPacket::looks_like_rtcp(&[0x81, 207])); // XR: out of range
+        assert!(ReceiverReportPacket::looks_like_rtcp(&[0x80, 207])); // XR
+        assert!(!ReceiverReportPacket::looks_like_rtcp(&[0x80, 208])); // out of range
     }
 
     #[test]

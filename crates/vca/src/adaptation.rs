@@ -12,6 +12,8 @@
 //!   the persona is declared unavailable and the UI shows "poor
 //!   connection". Recovery requires sustained clean delivery.
 
+use visionsim_core::time::SimTime;
+use visionsim_core::trace::{self, TraceKind};
 use visionsim_core::units::DataRate;
 
 /// One receiver report covering the last feedback interval.
@@ -74,6 +76,173 @@ impl RateController {
             self.target = DataRate::from_bps(probe);
         }
         self.target = self.target.clamp(self.min, self.max);
+        self.target
+    }
+}
+
+/// The congestion controller's probing state (GCC-style).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrlState {
+    /// Additively probing for more bandwidth.
+    Increase = 0,
+    /// Holding the target while the queue drains or signals are marginal.
+    Hold = 1,
+    /// Backing off multiplicatively after overuse.
+    Decrease = 2,
+}
+
+/// One feedback interval's congestion signals, as carried by the RR + XR
+/// pair: loss from the RR, arrival rate and a queuing-delay estimate from
+/// the XR.
+#[derive(Clone, Copy, Debug)]
+pub struct CongestionSignals {
+    /// Fraction of packets lost in the interval, `[0, 1]`.
+    pub loss: f64,
+    /// Receiver's arrival-rate estimate over the interval.
+    pub arrival: DataRate,
+    /// Receiver-estimated queuing delay, µs (one-way delay above the
+    /// running minimum, or smoothed interarrival jitter as a proxy).
+    pub queue_delay_us: u64,
+}
+
+/// Delay+loss congestion controller (GCC/BBR-flavored).
+///
+/// AIMD with a delay-gradient early-warning: loss above a backoff
+/// threshold — or a high *and rising* queue-delay estimate — cuts the
+/// target multiplicatively toward what actually arrived; marginal signals
+/// hold; clean intervals probe upward by a constant additive step. The
+/// equal additive step with multiplicative decrease is what makes
+/// competing flows converge to fair shares (Chiu–Jain), and the
+/// post-backoff hold dwell keeps the controller from re-probing into a
+/// queue it just drained.
+///
+/// Deterministic: state is a pure function of the report sequence. State
+/// changes are traced as [`TraceKind::CtrlState`].
+#[derive(Clone, Debug)]
+pub struct CongestionController {
+    /// Flow label used in trace events (e.g. SSRC).
+    flow: u64,
+    target: DataRate,
+    max: DataRate,
+    min: DataRate,
+    /// Additive probe step per clean report.
+    step: DataRate,
+    state: CtrlState,
+    prev_delay_us: f64,
+    /// Smoothed per-report delay gradient, µs.
+    gradient_ewma: f64,
+    /// Reports left to dwell in `Hold` after a decrease.
+    hold_left: u32,
+    state_changes: u32,
+}
+
+/// Loss fraction above which the controller backs off.
+const LOSS_BACKOFF: f64 = 0.10;
+/// Loss fraction above which the controller stops probing.
+const LOSS_HOLD: f64 = 0.02;
+/// Absolute queue delay considered "standing queue", µs.
+const DELAY_HIGH_US: f64 = 50_000.0;
+/// Smoothed delay gradient above which probing pauses, µs per report.
+const GRADIENT_HOLD_US: f64 = 2_000.0;
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.85;
+/// Hold dwell after a decrease, reports.
+const HOLD_DWELL: u32 = 2;
+
+impl CongestionController {
+    /// A controller for `flow`, bounded by the encoder ladder, probing by
+    /// `step` per clean report.
+    pub fn new(flow: u64, max: DataRate, min: DataRate, step: DataRate) -> Self {
+        assert!(min <= max, "min must not exceed max");
+        CongestionController {
+            flow,
+            target: min,
+            max,
+            min,
+            step,
+            state: CtrlState::Increase,
+            prev_delay_us: 0.0,
+            gradient_ewma: 0.0,
+            hold_left: 0,
+            state_changes: 0,
+        }
+    }
+
+    /// Start from a specific initial target (clamped to the bounds).
+    pub fn with_initial(mut self, target: DataRate) -> Self {
+        self.target = target.clamp(self.min, self.max);
+        self
+    }
+
+    /// Current target rate.
+    pub fn target(&self) -> DataRate {
+        self.target
+    }
+
+    /// Current probing state.
+    pub fn state(&self) -> CtrlState {
+        self.state
+    }
+
+    /// State transitions so far.
+    pub fn state_changes(&self) -> u32 {
+        self.state_changes
+    }
+
+    /// Target as a fraction of the ceiling — the degradation ladder's
+    /// congestion input (sustained backoff pushes this below the ladder
+    /// threshold, settling the session in a degraded mode).
+    pub fn utilization(&self) -> f64 {
+        self.target.as_bps() as f64 / self.max.as_bps().max(1) as f64
+    }
+
+    /// Process one feedback interval, returning the new target.
+    pub fn on_report(&mut self, now: SimTime, sig: &CongestionSignals) -> DataRate {
+        let delay = sig.queue_delay_us as f64;
+        let gradient = delay - self.prev_delay_us;
+        self.prev_delay_us = delay;
+        self.gradient_ewma = 0.5 * self.gradient_ewma + 0.5 * gradient;
+
+        let overuse =
+            sig.loss > LOSS_BACKOFF || (delay > DELAY_HIGH_US && self.gradient_ewma > 0.0);
+        let marginal = sig.loss > LOSS_HOLD || self.gradient_ewma > GRADIENT_HOLD_US;
+        let next = if overuse {
+            CtrlState::Decrease
+        } else if marginal || self.hold_left > 0 {
+            self.hold_left = self.hold_left.saturating_sub(1);
+            CtrlState::Hold
+        } else {
+            CtrlState::Increase
+        };
+        match next {
+            CtrlState::Decrease => {
+                // Toward what actually arrived, never above a plain
+                // multiplicative cut of the current target.
+                let backed = (sig.arrival.as_bps() as f64 * BETA)
+                    .min(self.target.as_bps() as f64 * BETA);
+                self.target = DataRate::from_bps_f64(backed);
+                self.hold_left = HOLD_DWELL;
+            }
+            CtrlState::Hold => {}
+            CtrlState::Increase => {
+                self.target = DataRate::from_bps(self.target.as_bps() + self.step.as_bps());
+            }
+        }
+        self.target = self.target.clamp(self.min, self.max);
+        if next != self.state {
+            self.state_changes += 1;
+            if trace::enabled() {
+                trace::record(
+                    TraceKind::CtrlState,
+                    now.as_nanos(),
+                    0,
+                    self.flow,
+                    next as u64,
+                    self.target.as_bps() / 1_000,
+                );
+            }
+        }
+        self.state = next;
         self.target
     }
 }
@@ -425,6 +594,127 @@ mod tests {
         }
         assert_eq!(dl.fallbacks(), 1, "episode must cause exactly one fallback");
         assert!(dl.is_spatial(), "must recover after the healthy window");
+    }
+
+    fn sig(loss: f64, arrival_kbps: u64, queue_delay_us: u64) -> CongestionSignals {
+        CongestionSignals {
+            loss,
+            arrival: DataRate::from_kbps(arrival_kbps),
+            queue_delay_us,
+        }
+    }
+
+    fn cc() -> CongestionController {
+        CongestionController::new(
+            1,
+            DataRate::from_mbps(4),
+            DataRate::from_kbps(150),
+            DataRate::from_kbps(100),
+        )
+    }
+
+    #[test]
+    fn controller_probes_up_when_clean() {
+        let mut c = cc();
+        let start = c.target();
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            t += visionsim_core::time::SimDuration::from_millis(200);
+            c.on_report(t, &sig(0.0, 1_000, 0));
+        }
+        assert_eq!(c.state(), CtrlState::Increase);
+        assert_eq!(
+            c.target().as_bps(),
+            start.as_bps() + 5 * DataRate::from_kbps(100).as_bps()
+        );
+    }
+
+    #[test]
+    fn heavy_loss_backs_off_toward_arrival() {
+        let mut c = cc().with_initial(DataRate::from_mbps(3));
+        c.on_report(SimTime::from_millis(200), &sig(0.3, 1_000, 0));
+        assert_eq!(c.state(), CtrlState::Decrease);
+        // 0.85 × 1 Mbps arrival < 0.85 × 3 Mbps target.
+        assert_eq!(c.target(), DataRate::from_bps_f64(1e6 * 0.85));
+        // Post-backoff dwell: the next clean report holds, not probes.
+        c.on_report(SimTime::from_millis(400), &sig(0.0, 850, 0));
+        assert_eq!(c.state(), CtrlState::Hold);
+    }
+
+    #[test]
+    fn rising_standing_queue_triggers_delay_backoff_without_loss() {
+        let mut c = cc().with_initial(DataRate::from_mbps(3));
+        let mut t = SimTime::ZERO;
+        // Queue delay climbing through the 50 ms standing-queue bar.
+        for d in [10_000u64, 30_000, 60_000, 90_000] {
+            t += visionsim_core::time::SimDuration::from_millis(200);
+            c.on_report(t, &sig(0.0, 2_000, d));
+        }
+        assert_eq!(c.state(), CtrlState::Decrease, "delay gradient must back off");
+        assert!(c.target() < DataRate::from_mbps(3));
+    }
+
+    #[test]
+    fn marginal_loss_holds_instead_of_probing() {
+        let mut c = cc().with_initial(DataRate::from_mbps(2));
+        c.on_report(SimTime::from_millis(200), &sig(0.05, 2_000, 0));
+        assert_eq!(c.state(), CtrlState::Hold);
+        assert_eq!(c.target(), DataRate::from_mbps(2));
+    }
+
+    #[test]
+    fn controller_respects_floor_and_ceiling() {
+        let mut c = cc();
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            t += visionsim_core::time::SimDuration::from_millis(200);
+            c.on_report(t, &sig(0.5, 10, 0));
+        }
+        assert_eq!(c.target(), DataRate::from_kbps(150));
+        for _ in 0..200 {
+            t += visionsim_core::time::SimDuration::from_millis(200);
+            c.on_report(t, &sig(0.0, 4_000, 0));
+        }
+        assert_eq!(c.target(), DataRate::from_mbps(4));
+        assert!((c.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_controllers_converge_to_fair_shares_of_a_shared_bottleneck() {
+        // Fluid model of a shared 4 Mbps FIFO: each flow's arrival is its
+        // capacity share; loss and queue delay appear only when the sum
+        // exceeds capacity. AIMD must equalize the rates from a 10:1
+        // start.
+        let cap = 4.0e6;
+        let mut a = cc().with_initial(DataRate::from_kbps(3_000));
+        let mut b = cc().with_initial(DataRate::from_kbps(300));
+        let mut t = SimTime::ZERO;
+        let mut queue_us = 0.0f64;
+        for _ in 0..300 {
+            t += visionsim_core::time::SimDuration::from_millis(200);
+            let ra = a.target().as_bps() as f64;
+            let rb = b.target().as_bps() as f64;
+            let sum = ra + rb;
+            let (loss, arr_a, arr_b) = if sum > cap {
+                queue_us = (queue_us + 40_000.0 * (sum / cap - 1.0)).min(200_000.0);
+                ((sum - cap) / sum, ra / sum * cap, rb / sum * cap)
+            } else {
+                queue_us = (queue_us - 20_000.0).max(0.0);
+                (0.0, ra, rb)
+            };
+            a.on_report(t, &sig(loss, (arr_a / 1_000.0) as u64, queue_us as u64));
+            b.on_report(t, &sig(loss, (arr_b / 1_000.0) as u64, queue_us as u64));
+        }
+        let ra = a.target().as_bps() as f64;
+        let rb = b.target().as_bps() as f64;
+        let jain = (ra + rb).powi(2) / (2.0 * (ra * ra + rb * rb));
+        assert!(jain > 0.95, "fairness {jain:.3} (a={ra} b={rb})");
+        for r in [ra, rb] {
+            assert!(
+                (0.3 * cap..=0.7 * cap).contains(&r),
+                "flow stuck at {r} of {cap}"
+            );
+        }
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! impairments attachable to any participant's uplink.
 
 use crate::adaptation::{
-    DegradationLadder, PersonaAvailability, PersonaMode, PersonaState, RateController,
-    ReceiverReport,
+    CongestionController, CongestionSignals, DegradationLadder, PersonaAvailability, PersonaMode,
+    PersonaState, RateController, ReceiverReport,
 };
 use crate::encoder::{VideoEncoder, VideoEncoderConfig};
 use crate::profile::{AppProfile, PersonaType, Topology};
@@ -118,6 +118,13 @@ pub struct SessionConfig {
     /// advances; `ServerDown` events take out the SFU site the participant
     /// is attached to (the session then fails over).
     pub fault_plans: Vec<(usize, FaultPlan)>,
+    /// Close the congestion loop: receivers send RTCP XR reports
+    /// (jitter + arrival rate) alongside their RRs, every sender runs a
+    /// delay+loss [`CongestionController`], spatial senders pace to its
+    /// target, and the degradation ladder folds sustained congestion into
+    /// its spatial→2D decision. Shaped uplinks get a finite-queue token
+    /// bucket (real drops) instead of the open-loop netem rate limit.
+    pub congestion_control: bool,
 }
 
 impl SessionConfig {
@@ -152,6 +159,7 @@ impl SessionConfig {
             layout: SeatingLayout::Arc,
             visibility: VisibilityFlags::vision_pro(),
             fault_plans: Vec::new(),
+            congestion_control: false,
         }
     }
 
@@ -178,6 +186,7 @@ impl SessionConfig {
             layout: SeatingLayout::Arc,
             visibility: VisibilityFlags::vision_pro(),
             fault_plans: Vec::new(),
+            congestion_control: false,
         }
     }
 }
@@ -293,6 +302,13 @@ struct ReceiverPeer {
     /// When the last PLI was sent toward this sender (rate-limits keyframe
     /// requests during a sustained loss burst).
     last_pli_at: Option<SimTime>,
+    /// Congestion-signal tracking for XR extended reports: bytes this XR
+    /// interval, last packet arrival, and the RFC 3550-style smoothed
+    /// interarrival jitter (µs) — the receiver's queue-delay observable.
+    xr_bytes: u64,
+    last_arrival: Option<SimTime>,
+    mean_gap_us: f64,
+    jitter_us: f64,
 }
 
 impl ReceiverPeer {
@@ -309,7 +325,35 @@ impl ReceiverPeer {
             frames_lost_interval: 0,
             abandoned_snapshot: 0,
             last_pli_at: None,
+            xr_bytes: 0,
+            last_arrival: None,
+            mean_gap_us: 0.0,
+            jitter_us: 0.0,
         }
+    }
+
+    /// Record a media arrival for the congestion observables.
+    fn on_arrival(&mut self, at: SimTime, wire_bytes: u64) {
+        self.xr_bytes += wire_bytes;
+        if let Some(last) = self.last_arrival {
+            let gap = at.since(last).as_nanos() as f64 / 1_000.0;
+            if self.mean_gap_us == 0.0 {
+                self.mean_gap_us = gap;
+            }
+            let dev = (gap - self.mean_gap_us).abs();
+            // RFC 3550 §6.4.1-shaped smoothing (gain 1/16).
+            self.jitter_us += (dev - self.jitter_us) / 16.0;
+            self.mean_gap_us += (gap - self.mean_gap_us) / 16.0;
+        }
+        self.last_arrival = Some(at);
+    }
+
+    /// This interval's XR payload: (jitter µs, arrival kbps), draining the
+    /// byte counter. `interval_s` is the XR cadence.
+    fn take_xr(&mut self, interval_s: f64) -> (u32, u32) {
+        let kbps = (self.xr_bytes as f64 * 8.0 / 1_000.0 / interval_s).round() as u32;
+        self.xr_bytes = 0;
+        (self.jitter_us.round() as u32, kbps)
     }
 
     /// Record a completed semantic frame, inferring losses from id gaps.
@@ -384,6 +428,11 @@ fn sender_of(src_port: u16, n: usize) -> Option<(usize, StreamKind)> {
 const AUDIO_PAYLOAD: usize = 88;
 const AUDIO_EVERY_TICKS: u64 = 2;
 
+/// Uplink rate below which the spatial persona cannot be sustained
+/// (paper §4.3: the persona needs ~0.67 Mbps; below ~700 kbps it fails).
+/// The congestion loop feeds `target / floor` into the degradation ladder.
+const SPATIAL_FLOOR_KBPS: u64 = 700;
+
 impl SessionRunner {
     /// A runner for `config`.
     pub fn new(config: SessionConfig) -> Self {
@@ -426,10 +475,21 @@ impl SessionRunner {
             );
             let ap = net.add_node(&format!("{} AP", p.name), "access", p.city.location);
             let (up, down) = net.add_duplex(client, ap, LinkConfig::wifi_access());
-            // tc attaches at the client's uplink egress.
+            // tc attaches at the client's uplink egress. With the
+            // congestion loop closed, the limit is a real token bucket
+            // with a finite queue (tc tbf): overload produces drops and
+            // queuing delay the receiver can observe and report, instead
+            // of the open-loop netem serializer.
             for (idx, rate) in &cfg.uplink_limits {
                 if *idx == clients.len() {
-                    *net.netem_mut(up) = Netem::with_rate_limit(*rate);
+                    if cfg.congestion_control {
+                        net.set_shaper(
+                            up,
+                            Some(visionsim_net::shaper::ShaperConfig::new(*rate)),
+                        );
+                    } else {
+                        *net.netem_mut(up) = Netem::with_rate_limit(*rate);
+                    }
                 }
             }
             if let Some((idx, profile)) = &cfg.uplink_profile {
@@ -629,6 +689,45 @@ impl SessionRunner {
         let mut pli_sent = vec![0u64; n];
         let mut keyframes_forced = vec![0u64; n];
 
+        // --- Congestion loop state --------------------------------------
+        // One delay+loss controller per sender when the loop is closed.
+        // The spatial ceiling sits above the nominal ~0.67 Mbps persona
+        // rate so an unconstrained uplink keeps full fidelity; the 2D
+        // ceiling is the encoder's own top rung.
+        let mut controllers: Vec<Option<CongestionController>> = (0..n)
+            .map(|i| {
+                if !cfg.congestion_control {
+                    return None;
+                }
+                let (max, min, start) = match persona_type {
+                    PersonaType::Spatial => (
+                        DataRate::from_kbps(1_200),
+                        DataRate::from_kbps(200),
+                        DataRate::from_kbps(800),
+                    ),
+                    PersonaType::TwoD => {
+                        let full = VideoEncoderConfig::new(
+                            profile.resolution_2d,
+                            profile.fps_2d,
+                            profile.bits_per_pixel,
+                        )
+                        .bitrate_at(1.0);
+                        (full, DataRate::from_kbps(150), full)
+                    }
+                };
+                Some(
+                    CongestionController::new(i as u64, max, min, DataRate::from_kbps(50))
+                        .with_initial(start),
+                )
+            })
+            .collect();
+        // Loss fraction from the newest RR, paired with the next XR into
+        // one controller signal.
+        let mut last_rr_loss: Vec<f64> = vec![0.0; n];
+        // Spatial pacing: a per-sender byte budget refilled at the
+        // controller target; capture ticks are skipped while it is spent.
+        let mut pace_budget: Vec<f64> = vec![0.0; n];
+
         // --- Main loop --------------------------------------------------
         let tick = SimDuration::FRAME_90FPS;
         let total_ticks = cfg.duration.as_nanos() / tick.as_nanos();
@@ -767,6 +866,20 @@ impl SessionRunner {
                         packetizer,
                         quic,
                     } => {
+                        // Controller pacing: the budget refills at the
+                        // target rate (capped at ~100 ms of burst) and a
+                        // frame spends its wire bytes; capture ticks are
+                        // skipped while the budget is in deficit. Frame
+                        // ids stay aligned because a skipped tick assigns
+                        // no id.
+                        if let Some(ctrl) = &controllers[i] {
+                            let refill =
+                                ctrl.target().as_bps() as f64 / 8.0 * tick.as_secs_f64();
+                            pace_budget[i] = (pace_budget[i] + refill).min(refill * 9.0);
+                            if pace_budget[i] < 0.0 {
+                                continue;
+                            }
+                        }
                         let frame = capture.next_frame(&mut rng).persona_subset();
                         let payload = codec.encode(&frame);
                         semantic_frame_sizes.push(payload.len());
@@ -777,6 +890,9 @@ impl SessionRunner {
                         };
                         for frag in packetizer.split(&payload) {
                             let wire = quic.send(frag.to_bytes());
+                            if controllers[i].is_some() {
+                                pace_budget[i] -= wire.len() as f64;
+                            }
                             net.send(
                                 clients[i],
                                 dst,
@@ -915,13 +1031,14 @@ impl SessionRunner {
                                 &d.packet.payload,
                             )
                         {
-                            if let SenderState::Video {
-                                encoder,
-                                controller,
-                                ..
-                            } = &mut senders[r]
-                            {
-                                if rr.source_ssrc == r as u32 + 1 {
+                            if rr.source_ssrc == r as u32 + 1 {
+                                last_rr_loss[r] = rr.loss();
+                                if let SenderState::Video {
+                                    encoder,
+                                    controller,
+                                    ..
+                                } = &mut senders[r]
+                                {
                                     let report = ReceiverReport {
                                         received_bytes: rr.received_bytes as u64,
                                         loss: rr.loss(),
@@ -931,6 +1048,40 @@ impl SessionRunner {
                                     encoder.adapt_to(target);
                                 }
                             }
+                            continue;
+                        }
+                        // XR extended report: the delay/rate half of the
+                        // congestion signal. Paired with the loss from the
+                        // RR that rode the same cadence (it arrives just
+                        // ahead on the same FIFO path).
+                        if let Some(xr) =
+                            visionsim_transport::rtcp::XrPacket::parse(&d.packet.payload)
+                        {
+                            if xr.source_ssrc == r as u32 + 1 {
+                                if let Some(ctrl) = &mut controllers[r] {
+                                    let sig = CongestionSignals {
+                                        loss: last_rr_loss[r],
+                                        arrival: DataRate::from_kbps(xr.arrival_kbps as u64),
+                                        queue_delay_us: xr.jitter_us as u64,
+                                    };
+                                    let target = ctrl.on_report(now, &sig);
+                                    if trace::enabled() {
+                                        trace::record(
+                                            TraceKind::RtcpReport,
+                                            now.as_nanos(),
+                                            0,
+                                            r as u64,
+                                            (last_rr_loss[r] * 1_000.0).round() as u64,
+                                            xr.arrival_kbps as u64,
+                                        );
+                                    }
+                                    if let SenderState::Video { encoder, .. } =
+                                        &mut senders[r]
+                                    {
+                                        encoder.adapt_to(target);
+                                    }
+                                }
+                            }
                         }
                         continue;
                     }
@@ -938,6 +1089,7 @@ impl SessionRunner {
                         continue;
                     };
                     peer.interval_bytes += d.packet.wire_size().as_bytes();
+                    peer.on_arrival(d.at, d.packet.wire_size().as_bytes());
                     rx_bytes_since_frame[r] += d.packet.payload.len();
                     if d.packet.corrupted {
                         continue;
@@ -1067,6 +1219,56 @@ impl SessionRunner {
                 for r in 0..n {
                     match persona_type {
                         PersonaType::Spatial => {
+                            // With the loop closed, the spatial stream is
+                            // no longer open: report frame-gap loss (RR)
+                            // plus jitter and arrival rate (XR) toward
+                            // each sender, before the interval counters
+                            // drain below.
+                            if cfg.congestion_control {
+                                let interval_s =
+                                    (feedback_every * tick.as_nanos()) as f64 / 1e9;
+                                let reports: Vec<(usize, Vec<u8>, Vec<u8>)> = receivers[r]
+                                    .iter_mut()
+                                    .map(|(&s, peer)| {
+                                        let complete = peer.frames_completed_interval;
+                                        let lost = peer.frames_lost_interval;
+                                        let loss = if complete + lost == 0 {
+                                            0.0
+                                        } else {
+                                            lost as f64 / (complete + lost) as f64
+                                        };
+                                        let (jitter_us, arrival_kbps) =
+                                            peer.take_xr(interval_s);
+                                        let rr =
+                                            visionsim_transport::rtcp::ReceiverReportPacket {
+                                                reporter_ssrc: r as u32 + 1,
+                                                source_ssrc: s as u32 + 1,
+                                                fraction_lost:
+                                                    visionsim_transport::rtcp::ReceiverReportPacket::q8_loss(loss),
+                                                cumulative_lost: lost as u32,
+                                                highest_seq: peer
+                                                    .last_frame_id
+                                                    .unwrap_or(0)
+                                                    as u32,
+                                                received_bytes: peer.interval_bytes as u32,
+                                            };
+                                        peer.interval_bytes = 0;
+                                        let xr = visionsim_transport::rtcp::XrPacket {
+                                            reporter_ssrc: r as u32 + 1,
+                                            source_ssrc: s as u32 + 1,
+                                            jitter_us,
+                                            arrival_kbps,
+                                        };
+                                        (s, rr.to_bytes().to_vec(), xr.to_bytes().to_vec())
+                                    })
+                                    .collect();
+                                for (s, rr, xr) in reports {
+                                    let ports =
+                                        PortPair::new(RTCP_PORT_BASE + r as u16, RTCP_PORT);
+                                    net.send(clients[r], clients[s], ports, rr);
+                                    net.send(clients[r], clients[s], ports, xr);
+                                }
+                            }
                             // Per-interval completeness from frame-id gaps
                             // (delay is not loss; the stream is open-loop).
                             let mut worst: f64 = 1.0;
@@ -1076,8 +1278,23 @@ impl SessionRunner {
                             let state = availability[r].on_interval(worst);
                             availability_log[r].push((now, state));
                             // The same observable drives graceful
-                            // degradation, with stickier recovery.
-                            let mode = ladders[r].on_interval(worst);
+                            // degradation, with stickier recovery — and,
+                            // with the loop closed, the sender's own
+                            // controller folds in: a target below the
+                            // ~700 kbps spatial floor (§4.3) reads as
+                            // congestion, settling the ladder into 2D
+                            // instead of oscillating on a noisy
+                            // completeness signal.
+                            let ladder_input = match &controllers[r] {
+                                Some(ctrl) => {
+                                    let head = ctrl.target().as_bps() as f64
+                                        / DataRate::from_kbps(SPATIAL_FLOOR_KBPS).as_bps()
+                                            as f64;
+                                    worst.min(head.min(1.0))
+                                }
+                                None => worst,
+                            };
+                            let mode = ladders[r].on_interval(ladder_input);
                             let prev = mode_log[r].last().map(|&(_, m)| m);
                             if prev.is_some_and(|p| p != mode) {
                                 vca_metrics().mode_switches.inc();
@@ -1101,7 +1318,7 @@ impl SessionRunner {
                             // Emit in-band RTCP receiver reports toward
                             // each sender; adaptation happens when (and
                             // if) the report arrives.
-                            let reports: Vec<(usize, Vec<u8>)> = receivers[r]
+                            let reports: Vec<(usize, Vec<u8>, Option<Vec<u8>>)> = receivers[r]
                                 .iter_mut()
                                 .map(|(&s, peer)| {
                                     let loss = if peer.received + peer.lost == 0 {
@@ -1124,16 +1341,34 @@ impl SessionRunner {
                                     peer.interval_bytes = 0;
                                     peer.lost = 0;
                                     peer.received = 0;
-                                    (s, rr.to_bytes().to_vec())
+                                    let xr = if cfg.congestion_control {
+                                        let interval_s =
+                                            (feedback_every * tick.as_nanos()) as f64 / 1e9;
+                                        let (jitter_us, arrival_kbps) =
+                                            peer.take_xr(interval_s);
+                                        Some(
+                                            visionsim_transport::rtcp::XrPacket {
+                                                reporter_ssrc: r as u32 + 1,
+                                                source_ssrc: s as u32 + 1,
+                                                jitter_us,
+                                                arrival_kbps,
+                                            }
+                                            .to_bytes()
+                                            .to_vec(),
+                                        )
+                                    } else {
+                                        None
+                                    };
+                                    (s, rr.to_bytes().to_vec(), xr)
                                 })
                                 .collect();
-                            for (s, payload) in reports {
-                                net.send(
-                                    clients[r],
-                                    clients[s],
-                                    PortPair::new(RTCP_PORT_BASE + r as u16, RTCP_PORT),
-                                    payload,
-                                );
+                            for (s, payload, xr) in reports {
+                                let ports =
+                                    PortPair::new(RTCP_PORT_BASE + r as u16, RTCP_PORT);
+                                net.send(clients[r], clients[s], ports, payload);
+                                if let Some(xr) = xr {
+                                    net.send(clients[r], clients[s], ports, xr);
+                                }
                             }
                             if let SenderState::Video { encoder, .. } = &senders[r] {
                                 quality_log[r].push((now, encoder.quality()));
@@ -1340,6 +1575,66 @@ mod tests {
             "encoder never adapted: q = {}",
             out.final_quality[0]
         );
+    }
+
+    #[test]
+    fn closed_loop_congestion_settles_the_ladder_without_oscillating() {
+        // A spatial sender behind a 400 kbps finite-queue uplink, with the
+        // congestion loop closed: the controller throttles toward the
+        // bottleneck, its utilization folds into the ladder, and the
+        // session settles in the 2D fallback instead of flapping.
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            31,
+        );
+        cfg.duration = SimDuration::from_secs(24);
+        cfg.uplink_limits = vec![(0, DataRate::from_kbps(400))];
+        cfg.congestion_control = true;
+        let out = SessionRunner::new(cfg).run();
+        // The constrained participant degraded at all (anti-vacuity)…
+        assert!(out.fallbacks[0] >= 1, "ladder never degraded");
+        assert!(
+            out.spatial_fraction(0) < 0.6,
+            "spent too long spatial: {}",
+            out.spatial_fraction(0)
+        );
+        // …and gracefully: after convergence (12 s in), at most one mode
+        // switch per 10 simulated seconds.
+        let converged: Vec<_> = out.mode_log[0]
+            .iter()
+            .filter(|(at, _)| *at >= SimTime::from_secs(12))
+            .collect();
+        let switches = converged
+            .windows(2)
+            .filter(|w| w[0].1 != w[1].1)
+            .count();
+        assert!(
+            switches <= 1,
+            "ladder oscillated after convergence: {switches} switches in 12 s \
+             ({:?})",
+            out.mode_log[0]
+        );
+    }
+
+    #[test]
+    fn closed_loop_unconstrained_session_stays_spatial() {
+        // The loop must not tax a clean session: with headroom everywhere
+        // the controller probes to its ceiling and the ladder never fires.
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            32,
+        );
+        cfg.duration = SimDuration::from_secs(16);
+        cfg.congestion_control = true;
+        let out = SessionRunner::new(cfg).run();
+        assert_eq!(out.fallbacks[0], 0, "mode log: {:?}", out.mode_log[0]);
+        assert_eq!(out.fallbacks[1], 0, "mode log: {:?}", out.mode_log[1]);
+        assert!(out.availability_fraction(0) > 0.9);
+        assert!(out.availability_fraction(1) > 0.9);
     }
 
     #[test]
