@@ -53,6 +53,25 @@ VISIONSIM_DRAIN=scalar cargo test -q --release -p visionsim-net --test shaper_co
 VISIONSIM_DRAIN=batched cargo test -q --release -p visionsim-net --test shaper_conservation
 cargo test -q --release -p visionsim-experiments congestion
 
+echo "== failover storms: control-plane resilience =="
+# Storm drills with the sanitizer on: the participant-conservation
+# identity (attached + reconnecting + abandoned == joined) is checked
+# every simulated second in all four scenarios, plus thread-invariance
+# of the storms artifact.
+VISIONSIM_SANITIZE=1 cargo test -q --release -p visionsim-experiments storms
+# The staggered-ServerDown regression (single-slot overwrite bug) and
+# the resilience session path, under the sanitizer.
+VISIONSIM_SANITIZE=1 cargo test -q --release -p visionsim-vca --lib \
+  staggered_server_down_faults_reattach_both_cohorts
+VISIONSIM_SANITIZE=1 cargo test -q --release -p visionsim-vca --lib \
+  resilience_reconnects_all_participants_after_server_down
+# Failover property suite in both drain modes: candidate selection never
+# hands out a dead or breaker-open site, and reconnect backoff schedules
+# are byte-identical across thread counts. `DrainMode::from_env` is
+# cached per process, so the axis needs two runs.
+VISIONSIM_DRAIN=scalar cargo test -q --release -p visionsim-vca --test failover_props
+VISIONSIM_DRAIN=batched cargo test -q --release -p visionsim-vca --test failover_props
+
 echo "== packet_path bench smoke + regression gate =="
 # Quick pass (few samples) to catch bit-rot in the bench harness and gross
 # datapath regressions; results go to a scratch file so the committed

@@ -207,6 +207,76 @@ mod tests {
     }
 
     #[test]
+    fn fault_at_time_zero_with_unhealthy_first_sample() {
+        // The fault lands at t=0 and the very first observation is already
+        // unhealthy: detection latency is exactly zero, not skipped.
+        let t = timeline(&[(0, false), (500, false), (1_000, true), (2_000, true)]);
+        let r = t.report(SimTime::ZERO);
+        assert_eq!(r.time_to_detect, Some(SimDuration::ZERO));
+        assert_eq!(r.time_to_recover, Some(SimDuration::from_millis(1_000)));
+        // Starting unhealthy counts as one dip, no phantom extra flap.
+        assert_eq!(r.flaps, 1);
+        assert!((r.degraded_secs - 1.0).abs() < 1e-9);
+        assert!(r.recovered());
+    }
+
+    #[test]
+    fn overlapping_faults_share_one_degraded_accounting() {
+        // Two faults hit the same participant before the signal comes back:
+        // fault A at 1s opens the dip, fault B at 2s lands inside it. Both
+        // reports walk the same timeline, so degraded seconds are counted
+        // once from the samples — never summed per fault, never negative.
+        let t = timeline(&[
+            (0, true),
+            (1_500, false), // fault A (1s) detected here
+            (2_500, false), // fault B (2s) lands inside the same dip
+            (3_500, false),
+            (4_000, true),
+            (5_000, true),
+        ]);
+        let a = t.report(SimTime::from_millis(1_000));
+        let b = t.report(SimTime::from_millis(2_000));
+        assert_eq!(a.time_to_detect, Some(SimDuration::from_millis(500)));
+        // Fault B's first unhealthy sample at/after injection is 2.5s.
+        assert_eq!(b.time_to_detect, Some(SimDuration::from_millis(500)));
+        assert_eq!(a.time_to_recover, Some(SimDuration::from_millis(3_000)));
+        assert_eq!(b.time_to_recover, Some(SimDuration::from_millis(2_000)));
+        // One dip, one flap — the overlapping fault does not re-open it.
+        assert_eq!(a.flaps, 1);
+        assert_eq!(b.flaps, 1);
+        // 1.5s..4s unhealthy = 2.5 degraded seconds, identical under both
+        // reports: no double-count from overlapping fault windows.
+        assert!((a.degraded_secs - 2.5).abs() < 1e-9);
+        assert_eq!(a.degraded_secs, b.degraded_secs);
+        assert!(a.degraded_secs >= 0.0);
+    }
+
+    #[test]
+    fn recovery_that_never_completes_keeps_degraded_exact() {
+        // The timeline ends mid-outage: a healthy blip at 2s, then down for
+        // good. MTTR must stay `None`, and degraded seconds must cover
+        // exactly the observed unhealthy intervals — the final sample's
+        // open-ended tail contributes nothing (so the sum can never run
+        // negative or overshoot the timeline span).
+        let t = timeline(&[
+            (0, true),
+            (1_000, false),
+            (2_000, true),
+            (3_000, false),
+            (4_000, false),
+            (5_000, false),
+        ]);
+        let r = t.report(SimTime::from_millis(500));
+        assert_eq!(r.time_to_detect, Some(SimDuration::from_millis(500)));
+        assert_eq!(r.time_to_recover, None);
+        assert!(!r.recovered());
+        assert_eq!(r.flaps, 2);
+        // 1s..2s plus 3s..5s = 3.0s, strictly bounded by the 5s span.
+        assert!((r.degraded_secs - 3.0).abs() < 1e-9);
+        assert!(r.degraded_secs >= 0.0 && r.degraded_secs <= 5.0);
+    }
+
+    #[test]
     fn incremental_recording_matches_batch() {
         let mut inc = RecoveryTracker::new();
         for &(ms, h) in &[(0u64, true), (500, false), (1_000, true)] {

@@ -86,6 +86,25 @@ pub enum TraceKind {
     /// A congestion controller changed state. `a` = flow/ssrc, `b` = new
     /// state (0 increase, 1 hold, 2 decrease), `c` = target rate in kbps.
     CtrlState = 14,
+    /// A site refused a join/rejoin. `site` names the site, `a` =
+    /// participant index, `b` = reason (0 capacity, 1 session cap,
+    /// 2 health), `c` = participants attached at the verdict.
+    AdmissionReject = 15,
+    /// A per-site circuit breaker opened after repeated failed
+    /// reconnects. `site` names the site, `a` = consecutive failures,
+    /// `c` = reopen (half-open) deadline in ns.
+    BreakerOpen = 16,
+    /// An open breaker's deterministic timer elapsed: one trial attempt
+    /// is allowed through. `site` names the site.
+    BreakerHalfOpen = 17,
+    /// A half-open breaker saw a successful attempt and closed. `site`
+    /// names the site.
+    BreakerClose = 18,
+    /// A reconnecting participant fired an attempt. `site` names the
+    /// candidate site ("" when no live candidate existed), `a` =
+    /// participant index, `b` = attempt number (1-based), `c` = verdict
+    /// (0 admitted, 1 rejected, 2 no candidate).
+    ReconnectAttempt = 19,
 }
 
 impl TraceKind {
@@ -107,6 +126,11 @@ impl TraceKind {
             TraceKind::QueueDrop => "queue_drop",
             TraceKind::RtcpReport => "rtcp_report",
             TraceKind::CtrlState => "ctrl_state",
+            TraceKind::AdmissionReject => "admission_reject",
+            TraceKind::BreakerOpen => "breaker_open",
+            TraceKind::BreakerHalfOpen => "breaker_half_open",
+            TraceKind::BreakerClose => "breaker_close",
+            TraceKind::ReconnectAttempt => "reconnect_attempt",
         }
     }
 
@@ -127,6 +151,11 @@ impl TraceKind {
             12 => TraceKind::QueueDrop,
             13 => TraceKind::RtcpReport,
             14 => TraceKind::CtrlState,
+            15 => TraceKind::AdmissionReject,
+            16 => TraceKind::BreakerOpen,
+            17 => TraceKind::BreakerHalfOpen,
+            18 => TraceKind::BreakerClose,
+            19 => TraceKind::ReconnectAttempt,
             _ => return None,
         })
     }

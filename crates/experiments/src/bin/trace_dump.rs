@@ -16,7 +16,34 @@ use std::io::Write;
 use std::process::ExitCode;
 use visionsim_core::trace::{self, TraceEvent, TraceKind};
 
-/// One rendered timeline line: time, kind, label, operands.
+/// One-character timeline glyph per kind: the dense column that makes
+/// control-plane storms scannable (`!` reject, `%`/`~`/`=` breaker
+/// open/half-open/close, `@` reconnect attempt, `>` failover).
+fn glyph(kind: TraceKind) -> char {
+    match kind {
+        TraceKind::PacketSend => '.',
+        TraceKind::PacketDeliver => ',',
+        TraceKind::PacketDrop | TraceKind::QueueDrop => 'x',
+        TraceKind::ModeSwitch => 'm',
+        TraceKind::FaultOnset => 'F',
+        TraceKind::FaultRecovery => 'f',
+        TraceKind::SfuFailover => '>',
+        TraceKind::CellStart => '[',
+        TraceKind::CellRetry => 'r',
+        TraceKind::CellQuarantine => 'Q',
+        TraceKind::SpanEnter => '(',
+        TraceKind::SpanExit => ')',
+        TraceKind::RtcpReport => 'R',
+        TraceKind::CtrlState => 'c',
+        TraceKind::AdmissionReject => '!',
+        TraceKind::BreakerOpen => '%',
+        TraceKind::BreakerHalfOpen => '~',
+        TraceKind::BreakerClose => '=',
+        TraceKind::ReconnectAttempt => '@',
+    }
+}
+
+/// One rendered timeline line: time, glyph, kind, label, operands.
 fn render_line(ev: &TraceEvent, sites: &[String]) -> String {
     let label = if ev.site == 0 {
         ""
@@ -67,14 +94,49 @@ fn render_line(ev: &TraceEvent, sites: &[String]) -> String {
             },
             ev.c
         ),
+        TraceKind::AdmissionReject => format!(
+            "participant={} reason={} attached={}",
+            ev.a,
+            match ev.b {
+                0 => "capacity",
+                1 => "sessions",
+                2 => "health",
+                _ => "?",
+            },
+            ev.c
+        ),
+        TraceKind::BreakerOpen => {
+            format!("failures={} half_open_at={} ns", ev.a, ev.c)
+        }
+        TraceKind::BreakerHalfOpen => "trial window".to_string(),
+        TraceKind::BreakerClose => "recovered".to_string(),
+        TraceKind::ReconnectAttempt => format!(
+            "participant={} attempt={} verdict={}",
+            ev.a,
+            ev.b,
+            match ev.c {
+                0 => "admitted",
+                1 => "rejected",
+                2 => "no-candidate",
+                _ => "?",
+            }
+        ),
     };
     if label.is_empty() {
-        format!("{:>16} ns  #{:<8} {:<16} {}", ev.time_ns, ev.seq, ev.kind.name(), operands)
-    } else {
         format!(
-            "{:>16} ns  #{:<8} {:<16} [{}] {}",
+            "{:>16} ns  #{:<8} {} {:<16} {}",
             ev.time_ns,
             ev.seq,
+            glyph(ev.kind),
+            ev.kind.name(),
+            operands
+        )
+    } else {
+        format!(
+            "{:>16} ns  #{:<8} {} {:<16} [{}] {}",
+            ev.time_ns,
+            ev.seq,
+            glyph(ev.kind),
             ev.kind.name(),
             label,
             operands
@@ -142,5 +204,61 @@ fn main() -> ExitCode {
             eprintln!("trace_dump: write failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end smoke on a storm-scenario sidecar: record a thundering
+    /// herd with the recorder forced on, encode → write → read → decode,
+    /// and render every line. The dump must carry the control-plane
+    /// kinds (admission rejects, reconnect attempts) with their glyphs.
+    #[test]
+    fn storm_sidecar_renders_control_plane_kinds() {
+        trace::force(Some(true));
+        trace::reset();
+        visionsim_experiments::storms::thundering_herd(20, 42);
+        let events = trace::take();
+        let image = trace::encode(&events);
+        trace::force(None);
+        trace::reset();
+        assert!(!events.is_empty(), "storm recorded no events");
+
+        let path = std::env::temp_dir().join(format!(
+            "visionsim_storm_trace_{}.bin",
+            std::process::id()
+        ));
+        std::fs::write(&path, &image).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let (sites, mut decoded) = trace::decode(&bytes).expect("valid sidecar");
+        decoded.sort_unstable_by_key(|ev| (ev.time_ns, ev.seq));
+        assert_eq!(decoded.len(), events.len());
+
+        let mut rendered = String::new();
+        let mut dumped = Vec::new();
+        dump(&mut dumped, "storm.trace.bin", &sites, &decoded).unwrap();
+        for ev in &decoded {
+            rendered.push_str(&render_line(ev, &sites));
+            rendered.push('\n');
+        }
+        for needle in ["admission_reject", "reconnect_attempt", "reason=", "verdict="] {
+            assert!(rendered.contains(needle), "missing {needle:?} in dump");
+        }
+        // The herd hammers a capacity-limited survivor: rejects must show
+        // with their glyph column.
+        assert!(
+            rendered.lines().any(|l| l.contains(" ! admission_reject")),
+            "admission_reject glyph missing"
+        );
+        assert!(
+            rendered.lines().any(|l| l.contains(" @ reconnect_attempt")),
+            "reconnect_attempt glyph missing"
+        );
+        // The summary path renders the same events without error.
+        let summary = String::from_utf8(dumped).unwrap();
+        assert!(summary.contains("per-kind counts:"));
     }
 }

@@ -126,6 +126,11 @@ pub fn registry() -> Vec<ArtifactSpec> {
             run: |seed| format!("{}", congestion::run(40, seed)),
         },
         ArtifactSpec {
+            name: "storms",
+            section: "failover storms: admission + breakers + reconnects",
+            run: |seed| format!("{}", storms::run(32, seed)),
+        },
+        ArtifactSpec {
             name: "ablations",
             section: "design-choice ablations",
             run: ablations_text,

@@ -23,6 +23,7 @@
 //! | [`discovery`] | the §4.1 methodology itself: fleet discovery from randomized sessions |
 //! | [`resilience`] | chaos drill: mid-session faults × severity × app, recovery metrics |
 //! | [`congestion`] | closed-loop congestion: fairness, cross-traffic, contention, handover |
+//! | [`storms`] | failover storms: admission control, breakers, reconnect convergence |
 
 pub mod ablations;
 pub mod congestion;
@@ -40,4 +41,5 @@ pub mod protocols;
 pub mod rate_adaptation;
 pub mod report;
 pub mod resilience;
+pub mod storms;
 pub mod table1;

@@ -83,6 +83,52 @@ impl ServerSite {
     }
 }
 
+/// Capacity envelope of one SFU site. The paper's Table 1 treats every
+/// site as an infinite sink; production SFUs gate admission on capacity
+/// (ITEM, Nguyen et al.), so the resilience layer gives each site a
+/// finite envelope and an admission policy over it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiteCapacity {
+    /// Maximum concurrently hosted sessions (conference groups).
+    pub max_sessions: u32,
+    /// Maximum concurrently attached participants across all sessions.
+    pub max_participants: u32,
+    /// While a site is observed *Degraded*, admission closes early: new
+    /// joins are refused once utilization reaches this fraction of
+    /// `max_participants` (headroom kept for the sessions already there).
+    pub degraded_admit_frac: f64,
+}
+
+impl SiteCapacity {
+    /// A mid-size regional SFU point of presence.
+    pub fn regional() -> Self {
+        SiteCapacity {
+            max_sessions: 64,
+            max_participants: 256,
+            degraded_admit_frac: 0.7,
+        }
+    }
+
+    /// Utilization of the participant envelope for `attached` users.
+    pub fn utilization(&self, attached: u32) -> f64 {
+        if self.max_participants == 0 {
+            return 1.0;
+        }
+        attached as f64 / self.max_participants as f64
+    }
+
+    /// Participant headroom left while healthy.
+    pub fn headroom(&self, attached: u32) -> u32 {
+        self.max_participants.saturating_sub(attached)
+    }
+}
+
+impl Default for SiteCapacity {
+    fn default() -> Self {
+        Self::regional()
+    }
+}
+
 const fn site(provider: Provider, label: &'static str, name: &'static str, lat: f64, lon: f64) -> ServerSite {
     ServerSite {
         provider,
@@ -227,6 +273,27 @@ mod tests {
         assert!(regions.contains(&Region::UsEast));
         assert!(regions.contains(&Region::Europe));
         assert!(regions.contains(&Region::AsiaEast));
+    }
+
+    #[test]
+    fn capacity_utilization_and_headroom_are_consistent() {
+        let cap = SiteCapacity {
+            max_sessions: 4,
+            max_participants: 10,
+            degraded_admit_frac: 0.5,
+        };
+        assert_eq!(cap.utilization(0), 0.0);
+        assert_eq!(cap.utilization(5), 0.5);
+        assert_eq!(cap.utilization(10), 1.0);
+        assert_eq!(cap.headroom(3), 7);
+        assert_eq!(cap.headroom(12), 0);
+        // A zero-size site is always saturated, never dividing by zero.
+        let empty = SiteCapacity {
+            max_sessions: 0,
+            max_participants: 0,
+            degraded_admit_frac: 0.5,
+        };
+        assert_eq!(empty.utilization(0), 1.0);
     }
 
     #[test]

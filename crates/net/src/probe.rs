@@ -105,6 +105,150 @@ impl RttProber {
     }
 }
 
+/// What one health probe against a site observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Answered promptly: the site is up with headroom.
+    Ok,
+    /// Answered late: the site is up but running hot (overload, drain).
+    Slow,
+    /// No answer before the probe deadline.
+    Lost,
+}
+
+/// Observed health of a probed site. This is the *monitor's* view, which
+/// lags ground truth by the probe cadence — the gap is exactly what makes
+/// reconnect storms interesting (clients attempt sites that look alive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SiteHealth {
+    /// Answering promptly.
+    Healthy,
+    /// Answering, but slow or hot: usable, admission tightens.
+    Degraded,
+    /// Not answering: excluded from candidate selection.
+    Down,
+    /// Answering again after Down, not yet trusted: usable, but one more
+    /// clean probe streak is required before Healthy.
+    Recovering,
+}
+
+impl SiteHealth {
+    /// Whether a client should consider the site at all.
+    pub fn is_usable(self) -> bool {
+        self != SiteHealth::Down
+    }
+
+    /// Stable short name for rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteHealth::Healthy => "healthy",
+            SiteHealth::Degraded => "degraded",
+            SiteHealth::Down => "down",
+            SiteHealth::Recovering => "recovering",
+        }
+    }
+}
+
+/// Streak thresholds of the health state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive lost probes before a Healthy/Degraded site is Down.
+    pub down_after: u32,
+    /// Consecutive clean probes before a Degraded/Recovering site is
+    /// Healthy again.
+    pub recover_after: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            down_after: 2,
+            recover_after: 2,
+        }
+    }
+}
+
+/// Probe-driven health state machine for one site:
+/// Healthy → Degraded → Down → Recovering → Healthy.
+///
+/// Transitions are pure functions of the probe stream, so a monitor fed
+/// the same deterministic probe outcomes replays byte-identically at any
+/// thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    state: SiteHealth,
+    lost_streak: u32,
+    ok_streak: u32,
+}
+
+impl HealthMonitor {
+    /// A monitor that assumes the site starts Healthy.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            state: SiteHealth::Healthy,
+            lost_streak: 0,
+            ok_streak: 0,
+        }
+    }
+
+    /// Current observed state.
+    pub fn state(&self) -> SiteHealth {
+        self.state
+    }
+
+    /// Feed one probe outcome; returns the (possibly new) state.
+    pub fn on_probe(&mut self, outcome: ProbeOutcome) -> SiteHealth {
+        match outcome {
+            ProbeOutcome::Lost => {
+                self.lost_streak += 1;
+                self.ok_streak = 0;
+                if self.lost_streak >= self.cfg.down_after {
+                    self.state = SiteHealth::Down;
+                } else if self.state == SiteHealth::Healthy {
+                    // First miss: benefit of the doubt, but tighten.
+                    self.state = SiteHealth::Degraded;
+                }
+            }
+            ProbeOutcome::Slow => {
+                self.lost_streak = 0;
+                self.ok_streak = 0;
+                // A slow answer proves liveness: a Down site surfaces as
+                // Recovering, everything else rides at Degraded.
+                self.state = if self.state == SiteHealth::Down {
+                    SiteHealth::Recovering
+                } else {
+                    SiteHealth::Degraded
+                };
+            }
+            ProbeOutcome::Ok => {
+                self.lost_streak = 0;
+                self.ok_streak += 1;
+                match self.state {
+                    SiteHealth::Down => {
+                        self.state = SiteHealth::Recovering;
+                        self.ok_streak = 1;
+                    }
+                    SiteHealth::Degraded | SiteHealth::Recovering => {
+                        if self.ok_streak >= self.cfg.recover_after {
+                            self.state = SiteHealth::Healthy;
+                        }
+                    }
+                    SiteHealth::Healthy => {}
+                }
+            }
+        }
+        self.state
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new(HealthConfig::default())
+    }
+}
+
 /// Anycast detection: probe one service from many vantage points and see
 /// whether the *responding infrastructure* differs by vantage. With
 /// unicast, every vantage reaches the same server address; with anycast,
@@ -179,6 +323,50 @@ mod tests {
         let prober = RttProber::default();
         let rtts = prober.probe(&mut net, c, s, 3, SimDuration::from_millis(50));
         assert!(rtts.is_empty());
+    }
+
+    #[test]
+    fn health_machine_walks_the_full_cycle() {
+        let mut m = HealthMonitor::default();
+        assert_eq!(m.state(), SiteHealth::Healthy);
+        // One miss tightens, a second (down_after = 2) takes it out.
+        assert_eq!(m.on_probe(ProbeOutcome::Lost), SiteHealth::Degraded);
+        assert_eq!(m.on_probe(ProbeOutcome::Lost), SiteHealth::Down);
+        assert!(!m.state().is_usable());
+        // First clean answer is Recovering, second restores Healthy.
+        assert_eq!(m.on_probe(ProbeOutcome::Ok), SiteHealth::Recovering);
+        assert!(m.state().is_usable());
+        assert_eq!(m.on_probe(ProbeOutcome::Ok), SiteHealth::Healthy);
+    }
+
+    #[test]
+    fn slow_probes_degrade_without_killing() {
+        let mut m = HealthMonitor::default();
+        assert_eq!(m.on_probe(ProbeOutcome::Slow), SiteHealth::Degraded);
+        // Slow answers never accumulate toward Down…
+        for _ in 0..10 {
+            assert_eq!(m.on_probe(ProbeOutcome::Slow), SiteHealth::Degraded);
+        }
+        // …and recovery needs a clean streak, not one lucky probe.
+        assert_eq!(m.on_probe(ProbeOutcome::Ok), SiteHealth::Degraded);
+        assert_eq!(m.on_probe(ProbeOutcome::Ok), SiteHealth::Healthy);
+    }
+
+    #[test]
+    fn lost_probe_during_recovery_drops_straight_back_down() {
+        let mut m = HealthMonitor::new(HealthConfig {
+            down_after: 2,
+            recover_after: 3,
+        });
+        m.on_probe(ProbeOutcome::Lost);
+        m.on_probe(ProbeOutcome::Lost);
+        assert_eq!(m.state(), SiteHealth::Down);
+        m.on_probe(ProbeOutcome::Ok);
+        assert_eq!(m.state(), SiteHealth::Recovering);
+        // A flapping site re-fails mid-recovery: streak restarts.
+        m.on_probe(ProbeOutcome::Lost);
+        m.on_probe(ProbeOutcome::Lost);
+        assert_eq!(m.state(), SiteHealth::Down);
     }
 
     #[test]

@@ -23,10 +23,14 @@ use crate::adaptation::{
 use crate::encoder::{VideoEncoder, VideoEncoderConfig};
 use crate::profile::{AppProfile, PersonaType, Topology};
 use crate::scene::{GazeDynamics, SeatingLayout};
-use crate::server::{failover_site, AssignmentPolicy, ServerAssignment};
+use crate::server::{
+    failover_site, resilience_metrics, AdmissionVerdict, AssignmentPolicy, ReconnectPhase,
+    Reconnector, ResilienceConfig, ServerAssignment, SiteDirectory,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
 use visionsim_core::metrics::{self, Class};
+use visionsim_core::sanitizer;
 use visionsim_core::rng::SimRng;
 use visionsim_core::time::{SimDuration, SimTime};
 use visionsim_core::trace::{self, TraceKind};
@@ -125,6 +129,12 @@ pub struct SessionConfig {
     /// its spatial→2D decision. Shaped uplinks get a finite-queue token
     /// bucket (real drops) instead of the open-loop netem rate limit.
     pub congestion_control: bool,
+    /// Control-plane resilience: site capacity + admission control, a
+    /// probe-driven health view with per-site circuit breakers, and a
+    /// per-participant reconnect state machine (capped exponential
+    /// backoff with seeded jitter, rejoin budget). `None` keeps the
+    /// legacy single next-nearest reattach, byte-identical to before.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl SessionConfig {
@@ -160,6 +170,7 @@ impl SessionConfig {
             visibility: VisibilityFlags::vision_pro(),
             fault_plans: Vec::new(),
             congestion_control: false,
+            resilience: None,
         }
     }
 
@@ -187,6 +198,7 @@ impl SessionConfig {
             visibility: VisibilityFlags::vision_pro(),
             fault_plans: Vec::new(),
             congestion_control: false,
+            resilience: None,
         }
     }
 }
@@ -233,6 +245,27 @@ pub struct SessionOutcome {
     pub pli_sent: Vec<u64>,
     /// Keyframes forced by incoming PLIs per participant (as sender).
     pub keyframes_forced: Vec<u64>,
+    /// Reconnect episodes (resilience sessions only; empty otherwise).
+    /// A participant appears once per outage that hit their site.
+    pub reconnects: Vec<ReconnectSummary>,
+    /// Admissions refused fleet-wide (resilience sessions only).
+    pub admission_rejects: u64,
+}
+
+/// One participant's reconnect episode, summarized for the tooling.
+#[derive(Clone, Debug)]
+pub struct ReconnectSummary {
+    /// Which participant.
+    pub participant: usize,
+    /// Attempts fired.
+    pub attempts: u32,
+    /// Attempts refused (admission reject or no live candidate).
+    pub rejected: u32,
+    /// Where the machine ended: reattached, abandoned, or still waiting
+    /// when the session closed.
+    pub phase: ReconnectPhase,
+    /// Site death → reattached, when the episode completed.
+    pub rejoin: Option<SimDuration>,
 }
 
 impl SessionOutcome {
@@ -679,12 +712,27 @@ impl SessionRunner {
         let mut mode_log: Vec<Vec<(SimTime, PersonaMode)>> = vec![Vec::new(); n];
         let mut quality_log: Vec<Vec<(SimTime, f64)>> = vec![Vec::new(); n];
         // SFU failover: sites currently dead, nodes to stop forwarding
-        // from, and the scheduled reattachment (due time, affected
-        // participants).
+        // from, and the scheduled reattachments (due time, affected
+        // participants). Overlapping ServerDown faults each queue their
+        // own cohort — an earlier pending reattach is never overwritten.
         let mut dead_sites: Vec<&'static str> = Vec::new();
         let mut dead_nodes: HashSet<NodeId> = HashSet::new();
-        let mut pending_failover: Option<(SimTime, Vec<usize>)> = None;
+        let mut pending_failovers: Vec<(SimTime, Vec<usize>)> = Vec::new();
         let mut failovers: Vec<(SimTime, String)> = Vec::new();
+        // Resilience path: the control-plane directory plus one reconnect
+        // state machine per disconnected participant. The directory is
+        // seeded with the initial attachments so admission sees real load.
+        let mut directory: Option<SiteDirectory> = cfg.resilience.map(|rc| {
+            let mut dir = SiteDirectory::new(&registry, cfg.provider, rc);
+            if let Some(a) = &assignment {
+                for (p, site) in a.attachments.iter().enumerate() {
+                    dir.try_admit(site.label, 0, p as u64, SimTime::ZERO);
+                }
+            }
+            dir
+        });
+        let mut reconnectors: Vec<Reconnector> = Vec::new();
+        let mut next_probe = SimTime::ZERO;
         // PLI recovery accounting.
         let mut pli_sent = vec![0u64; n];
         let mut keyframes_forced = vec![0u64; n];
@@ -773,9 +821,11 @@ impl SessionRunner {
                                 continue;
                             }
                             dead_nodes.insert(victim);
-                            if let Some((&label, _)) =
-                                site_nodes.iter().find(|(_, &node)| node == victim)
-                            {
+                            let victim_label = site_nodes
+                                .iter()
+                                .find(|(_, &node)| node == victim)
+                                .map(|(&label, _)| label);
+                            if let Some(label) = victim_label {
                                 dead_sites.push(label);
                             }
                             for lid in net.links_of(victim) {
@@ -783,7 +833,46 @@ impl SessionRunner {
                             }
                             let affected: Vec<usize> =
                                 (0..n).filter(|&p| servers[p] == victim).collect();
-                            pending_failover = Some((now + detect + reconnect, affected));
+                            match (directory.as_mut(), cfg.resilience.as_ref()) {
+                                (Some(dir), Some(rc)) => {
+                                    // Resilience path: the directory learns
+                                    // the outage (ground truth; probes lag)
+                                    // and every stranded participant gets a
+                                    // reconnect state machine. The first
+                                    // attempt fires after the same
+                                    // detect + reconnect lag the legacy
+                                    // path waits out.
+                                    if let Some(label) = victim_label {
+                                        dir.set_site_up(label, false);
+                                        for _ in &affected {
+                                            dir.detach(label, 0);
+                                        }
+                                    }
+                                    for &p in &affected {
+                                        let waiting = reconnectors.iter().any(|r| {
+                                            r.participant() == p as u64
+                                                && matches!(
+                                                    r.phase(),
+                                                    ReconnectPhase::Waiting { .. }
+                                                )
+                                        });
+                                        if !waiting {
+                                            reconnectors.push(Reconnector::new(
+                                                p as u64,
+                                                now,
+                                                now + detect + reconnect,
+                                                rc.backoff,
+                                                rc.rejoin_budget,
+                                                cfg.seed,
+                                            ));
+                                        }
+                                    }
+                                }
+                                _ => {
+                                    pending_failovers
+                                        .push((now + detect + reconnect, affected));
+                                }
+                            }
                         }
                         // Radio outages cut both directions of the access
                         // link; every other impairment applies at the
@@ -797,12 +886,14 @@ impl SessionRunner {
                 }
             }
 
-            // SFU failover: reattach affected participants to the
-            // next-nearest live site once the reconnection gap elapses.
-            if let Some((due_at, affected)) = &pending_failover {
-                if now >= *due_at {
-                    let affected = affected.clone();
-                    pending_failover = None;
+            // SFU failover (legacy path): reattach each due cohort to the
+            // next-nearest live site once its reconnection gap elapses.
+            while let Some(pos) = pending_failovers
+                .iter()
+                .position(|(due_at, _)| now >= *due_at)
+            {
+                let (_, affected) = pending_failovers.remove(pos);
+                {
                     if let Some(site) =
                         failover_site(&registry, cfg.provider, &locations[0], &dead_sites)
                     {
@@ -854,6 +945,148 @@ impl SessionRunner {
                     }
                     // No live site left: the session stays dark — degraded,
                     // not aborted.
+                }
+            }
+
+            // Resilience path: probe the fleet on its cadence, then fire
+            // every due reconnect attempt — candidate selection routes
+            // around dead/observed-down/breaker-open sites, and admission
+            // may still refuse (capacity, sessions, or a zombie site that
+            // feeds the breaker). Refusals reschedule per backoff until
+            // the rejoin budget runs out.
+            if let (Some(dir), Some(rc)) = (directory.as_mut(), cfg.resilience.as_ref()) {
+                if now >= next_probe {
+                    dir.probe_tick(now);
+                    next_probe = now + rc.probe_every;
+                }
+                for rec in reconnectors.iter_mut() {
+                    if !rec.due(now) {
+                        continue;
+                    }
+                    let p = rec.participant() as usize;
+                    let attempt = rec.take_attempt();
+                    resilience_metrics().reconnect_attempts.inc();
+                    let candidate = dir.candidate(&locations[p], &dead_sites, now);
+                    let mut admitted = None;
+                    let verdict_code = match candidate {
+                        None => {
+                            rec.on_rejected(now);
+                            2
+                        }
+                        Some(site) => match dir.try_admit(site.label, 0, p as u64, now) {
+                            AdmissionVerdict::Admitted => {
+                                admitted = Some(site);
+                                0
+                            }
+                            AdmissionVerdict::Rejected(_) => {
+                                rec.on_rejected(now);
+                                1
+                            }
+                        },
+                    };
+                    if trace::enabled() {
+                        trace::record(
+                            TraceKind::ReconnectAttempt,
+                            now.as_nanos(),
+                            trace::intern(candidate.map(|s| s.label).unwrap_or("")),
+                            p as u64,
+                            attempt as u64,
+                            verdict_code,
+                        );
+                    }
+                    if matches!(rec.phase(), ReconnectPhase::Abandoned { .. }) {
+                        resilience_metrics().reconnects_abandoned.inc();
+                    }
+                    let Some(site) = admitted else { continue };
+                    // Reattach: same wiring as the legacy path, but
+                    // anchored on the participant's own location and with
+                    // the backbone extension in sorted order (several
+                    // participants can land on different sites the same
+                    // tick).
+                    let node = *site_nodes.entry(site.label).or_insert_with(|| {
+                        net.add_node(
+                            &format!("{} {}", site.provider, site.label),
+                            &format!("{}", site.provider),
+                            site.location(),
+                        )
+                    });
+                    let d = latency.one_way(&locations[p], &site.location());
+                    net.add_duplex(aps[p], node, LinkConfig::core(d));
+                    servers[p] = node;
+                    let mut others: Vec<NodeId> = site_nodes
+                        .values()
+                        .copied()
+                        .filter(|&s| s != node && !dead_nodes.contains(&s))
+                        .collect();
+                    others.sort();
+                    for other in others {
+                        let pair = (node.min(other), node.max(other));
+                        if backbone_pairs.insert(pair) {
+                            let d = latency
+                                .one_way(
+                                    &site.location(),
+                                    &net.geodb()
+                                        .lookup(net.addr(other))
+                                        .map(|e| e.location)
+                                        .unwrap_or_else(|| site.location()),
+                                )
+                                .mul_f64(0.8);
+                            net.add_duplex(node, other, LinkConfig::core(d));
+                        }
+                    }
+                    rec.on_admitted(now);
+                    if let Some(lat) = rec.rejoin_latency() {
+                        resilience_metrics()
+                            .rejoin_ms
+                            .observe(lat.as_nanos() / 1_000_000);
+                    }
+                    vca_metrics().failovers.inc();
+                    if trace::enabled() {
+                        trace::record(
+                            TraceKind::SfuFailover,
+                            now.as_nanos(),
+                            trace::intern(site.label),
+                            1,
+                            0,
+                            0,
+                        );
+                    }
+                    failovers.push((now, site.label.to_string()));
+                }
+                // Participant conservation: once per feedback interval the
+                // sanitizer checks nobody has vanished — every participant
+                // is attached to a live site, waiting on a reconnect
+                // machine, or abandoned.
+                if topology == Topology::Sfu && t > 0 && t % feedback_every == 0 {
+                    let mut attached = 0usize;
+                    let mut reconnecting = 0usize;
+                    let mut abandoned = 0usize;
+                    for (p, server) in servers.iter().enumerate().take(n) {
+                        if !dead_nodes.contains(server) {
+                            attached += 1;
+                            continue;
+                        }
+                        match reconnectors
+                            .iter()
+                            .rev()
+                            .find(|r| r.participant() == p as u64)
+                            .map(|r| r.phase())
+                        {
+                            Some(ReconnectPhase::Waiting { .. }) => reconnecting += 1,
+                            Some(ReconnectPhase::Abandoned { .. }) => abandoned += 1,
+                            _ => {}
+                        }
+                    }
+                    sanitizer::check(
+                        attached + reconnecting + abandoned == n,
+                        "vca/participant_conservation",
+                        || {
+                            format!(
+                                "attached {attached} + reconnecting {reconnecting} \
+                                 + abandoned {abandoned} != joined {n}"
+                            )
+                        },
+                    );
                 }
             }
 
@@ -1409,6 +1642,17 @@ impl SessionRunner {
             failovers,
             pli_sent,
             keyframes_forced,
+            reconnects: reconnectors
+                .iter()
+                .map(|r| ReconnectSummary {
+                    participant: r.participant() as usize,
+                    attempts: r.attempts(),
+                    rejected: r.rejected(),
+                    phase: r.phase(),
+                    rejoin: r.rejoin_latency(),
+                })
+                .collect(),
+            admission_rejects: directory.as_ref().map(|d| d.total_rejects()).unwrap_or(0),
         }
     }
 }
@@ -1785,5 +2029,105 @@ mod tests {
         // Figure 6(c): ~linear in the number of remote personas.
         let ratio = four / two;
         assert!((2.0..4.5).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    /// Regression: two staggered ServerDown faults on *different* sites,
+    /// the second landing while the first cohort's reattach is still
+    /// pending. The old single-slot `pending_failover` overwrote the
+    /// earlier cohort, silently stranding it; the queue reattaches both.
+    #[test]
+    fn staggered_server_down_faults_reattach_both_cohorts() {
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            77,
+        );
+        // Geo-distributed placement puts the coasts on distinct sites, so
+        // the two faults kill two different servers.
+        cfg.policy = AssignmentPolicy::GeoDistributed;
+        cfg.duration = SimDuration::from_secs(10);
+        // Cohort 1's reattach is due at 2.5 s; the second site dies at
+        // 2 s, inside that window.
+        cfg.fault_plans = vec![
+            (
+                0,
+                FaultPlan::server_outage(
+                    SimTime::from_secs(1),
+                    SimDuration::from_secs(1),
+                    SimDuration::from_millis(500),
+                ),
+            ),
+            (
+                1,
+                FaultPlan::server_outage(
+                    SimTime::from_secs(2),
+                    SimDuration::from_secs(1),
+                    SimDuration::from_millis(500),
+                ),
+            ),
+        ];
+        let out = SessionRunner::new(cfg).run();
+        let sites: Vec<&str> = out
+            .assignment
+            .as_ref()
+            .unwrap()
+            .attachments
+            .iter()
+            .map(|s| s.label)
+            .collect();
+        assert_ne!(sites[0], sites[1], "test needs distinct initial sites");
+        assert_eq!(
+            out.failovers.len(),
+            2,
+            "both cohorts must reattach: {:?}",
+            out.failovers
+        );
+        for (_, label) in &out.failovers {
+            assert!(
+                !sites.contains(&label.as_str()),
+                "reattached to a dead site: {label}"
+            );
+        }
+    }
+
+    /// With resilience on, a ServerDown spawns per-participant reconnect
+    /// machines instead of the legacy cohort slot: everyone reattaches
+    /// through admission, the episode summaries land in the outcome, and
+    /// an idle fleet refuses nobody.
+    #[test]
+    fn resilience_reconnects_all_participants_after_server_down() {
+        let mut cfg = SessionConfig::two_party(
+            Provider::FaceTime,
+            (DeviceKind::VisionPro, sf()),
+            (DeviceKind::VisionPro, nyc()),
+            78,
+        );
+        cfg.duration = SimDuration::from_secs(10);
+        cfg.resilience = Some(ResilienceConfig::default());
+        cfg.fault_plans = vec![(
+            0,
+            FaultPlan::server_outage(
+                SimTime::from_secs(2),
+                SimDuration::from_secs(1),
+                SimDuration::from_millis(500),
+            ),
+        )];
+        let out = SessionRunner::new(cfg).run();
+        // NearestToInitiator puts both participants on one site, so one
+        // outage strands both.
+        assert_eq!(out.reconnects.len(), 2, "{:?}", out.reconnects);
+        for r in &out.reconnects {
+            assert!(
+                matches!(r.phase, ReconnectPhase::Reattached { .. }),
+                "{r:?}"
+            );
+            assert_eq!(r.attempts, 1, "{r:?}");
+            assert_eq!(r.rejected, 0, "{r:?}");
+            let rejoin = r.rejoin.expect("rejoin latency once reattached");
+            assert!(rejoin >= SimDuration::from_millis(1_500), "{rejoin:?}");
+        }
+        assert_eq!(out.admission_rejects, 0);
+        assert_eq!(out.failovers.len(), 2, "{:?}", out.failovers);
     }
 }

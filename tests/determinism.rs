@@ -7,7 +7,7 @@
 //! knobs (`set_threads`, `trace::force`, `metrics::force`) are never raced
 //! by the libtest runner.
 
-use visionsim::experiments::{extensions, figure6, mesh_streaming, resilience, table1};
+use visionsim::experiments::{extensions, figure6, mesh_streaming, resilience, storms, table1};
 use visionsim::core::{metrics, par, trace};
 
 /// Render a small-but-representative slice of the suite at `seed`.
@@ -20,6 +20,7 @@ fn artifacts(seed: u64) -> String {
     out.push_str(&extensions::format_fec(&extensions::fec_under_loss(
         60, 1_500, seed,
     )));
+    out.push_str(&format!("{}", storms::run(12, seed)));
     out
 }
 
