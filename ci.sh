@@ -72,17 +72,45 @@ VISIONSIM_SANITIZE=1 cargo test -q --release -p visionsim-vca --lib \
 VISIONSIM_DRAIN=scalar cargo test -q --release -p visionsim-vca --test failover_props
 VISIONSIM_DRAIN=batched cargo test -q --release -p visionsim-vca --test failover_props
 
-echo "== packet_path bench smoke + regression gate =="
+echo "== sharded fleet: causality + shard/thread invariance =="
+# The conservative-PDES engine's shard partition and worker-pool size are
+# pure performance knobs: the rendered fleet artifact must be
+# byte-identical at 1/2/8 shards x 1/4/8 threads, and every cross-shard
+# envelope must respect the lookahead (sanitizer-checked).
+VISIONSIM_SANITIZE=1 cargo test -q --release --test fleet_props
+VISIONSIM_SANITIZE=1 cargo test -q --release -p visionsim-core shard
+VISIONSIM_SANITIZE=1 cargo test -q --release -p visionsim-vca --lib fleet
+cargo test -q --release -p visionsim-experiments fleet
+
+echo "== fleet artifact: --only + manifest/checksum/resume =="
+FLEETDIR=$(mktemp -d)
+VISIONSIM_ARTIFACT_DIR="$FLEETDIR" ./target/release/regenerate 2024 --only fleet > /dev/null
+test -f "$FLEETDIR/fleet.txt" || { echo "fleet artifact was not written" >&2; exit 1; }
+grep -q '"fleet"' "$FLEETDIR/manifest.json" || { echo "manifest lacks the fleet entry" >&2; exit 1; }
+grep -q 'peak concurrency' "$FLEETDIR/fleet.txt" || { echo "fleet artifact lacks the concurrency summary" >&2; exit 1; }
+# A resumed run must verify the checksum and skip the finished artifact.
+# (Captured, not piped: `grep -q` would close the pipe early and the
+# writer's SIGPIPE would trip pipefail.)
+RESUME_OUT=$(VISIONSIM_ARTIFACT_DIR="$FLEETDIR" ./target/release/regenerate 2024 --only fleet --resume)
+echo "$RESUME_OUT" | grep -q 'fleet.*verified' \
+  || { echo "resume did not verify the fleet checksum" >&2; exit 1; }
+rm -rf "$FLEETDIR"
+
+echo "== bench smoke + regression gate (packet_path, fleet) =="
 # Quick pass (few samples) to catch bit-rot in the bench harness and gross
-# datapath regressions; results go to a scratch file so the committed
-# BENCH.json numbers (full 10-sample runs) are not overwritten. Any
-# benchmark whose per_sec lands more than 25% below its committed value
-# fails the gate — wide enough for box noise on a 3-sample smoke, tight
-# enough to catch a real datapath regression.
+# regressions; results go to a scratch file so the committed BENCH.json
+# numbers (full 10-sample runs) are not overwritten. Any benchmark whose
+# per_sec lands more than 25% below its committed value fails the gate —
+# wide enough for box noise on a 3-sample smoke, tight enough to catch a
+# real regression. Entries without per_sec (wall-clock trajectory records
+# like regenerate/wall) are informational and skip the gate.
 BENCHTMP=$(mktemp)
 VISIONSIM_BENCH_SAMPLES=3 VISIONSIM_BENCH_JSON="$BENCHTMP" \
   cargo bench -p visionsim-bench --bench packet_path
+VISIONSIM_BENCH_SAMPLES=3 VISIONSIM_BENCH_JSON="$BENCHTMP" \
+  cargo bench -p visionsim-bench --bench fleet
 grep -q '"packet_path/hops"' "$BENCHTMP" || { echo "bench smoke wrote no hops record" >&2; exit 1; }
+grep -q '"fleet/sessions_per_sec"' "$BENCHTMP" || { echo "bench smoke wrote no fleet record" >&2; exit 1; }
 python3 - "$BENCHTMP" BENCH.json <<'PY'
 import json, sys
 fresh = json.load(open(sys.argv[1]))
@@ -91,10 +119,13 @@ bad = []
 for name, entry in sorted(committed.items()):
     if name not in fresh:
         continue  # committed baselines (e.g. *_prebatch) with no live run
-    floor = entry["per_sec"] * 0.75
+    per_sec = entry.get("per_sec")
+    if per_sec is None:
+        continue  # wall-clock trajectory entries are not throughput-gated
+    floor = per_sec * 0.75
     got = fresh[name]["per_sec"]
     status = "ok" if got >= floor else "REGRESSED"
-    print(f"  {name}: {got/1e6:.1f}M vs committed {entry['per_sec']/1e6:.1f}M ({status})")
+    print(f"  {name}: {got/1e6:.1f}M vs committed {per_sec/1e6:.1f}M ({status})")
     if got < floor:
         bad.append(name)
 if bad:

@@ -28,6 +28,8 @@
 //!   [`trace::TraceEvent`]s plus the [`span!`] timing guard.
 //! * [`metrics`] — typed metrics registry (`VISIONSIM_METRICS=1`): counters,
 //!   gauges, and log2-bucket histograms snapshotted to `metrics.json`.
+//! * [`shard`] — conservative PDES: per-shard event queues synchronized by
+//!   link-latency lookahead, byte-identical at any thread or shard count.
 
 pub mod error;
 pub mod event;
@@ -36,6 +38,7 @@ pub mod par;
 pub mod rng;
 pub mod sanitizer;
 pub mod series;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -48,6 +51,7 @@ pub use event::{EventQueue, ScheduledEvent};
 pub use par::{derive_seed, par_map, try_par_map, Cell, CellError, CellFailure};
 pub use rng::SimRng;
 pub use series::{RateSeries, TimeSeries};
+pub use shard::{ConservativeEngine, Envelope, EngineReport, ShardWorld};
 pub use stats::{BoxplotSummary, Percentiles, StreamingStats};
 pub use time::{SimDuration, SimTime};
 pub use units::{ByteSize, DataRate};

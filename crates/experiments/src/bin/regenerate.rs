@@ -90,6 +90,13 @@ fn main() -> ExitCode {
         return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
+    // Track the whole-run wall-clock trajectory (ROADMAP item 2's
+    // residual) in BENCH.json. Wall class: no per_sec, so the ci.sh
+    // throughput gate ignores it; partial/failed runs record nothing.
+    if ok && !resume {
+        harness::record_wall_bench("regenerate/wall", par_total);
+    }
+
     // Speedup check: re-run the Figure 6 sweep pinned to one worker and
     // compare against the parallel wall-clock just measured. Stdout-only;
     // artifacts on disk are untouched by this epilogue.

@@ -131,6 +131,11 @@ pub fn registry() -> Vec<ArtifactSpec> {
             run: |seed| format!("{}", storms::run(32, seed)),
         },
         ArtifactSpec {
+            name: "fleet",
+            section: "100k-session global fleet (sharded conservative PDES)",
+            run: |seed| format!("{}", fleet::run(seed)),
+        },
+        ArtifactSpec {
             name: "ablations",
             section: "design-choice ablations",
             run: ablations_text,
@@ -202,6 +207,50 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Merge one wall-clock timing entry into `BENCH.json` (the path in
+/// `VISIONSIM_BENCH_JSON`, else the repo-root file), preserving every
+/// other entry and the one-entry-per-line sorted layout the bench
+/// harness writes. The entry carries **no** `per_sec` field, which is
+/// what keeps it out of ci.sh's throughput regression gate — wall time
+/// of the whole run is a trajectory to watch, not a gated invariant.
+///
+/// Failure is downgraded to a stderr warning: timings are a byproduct
+/// and must never fail a regeneration.
+pub fn record_wall_bench(name: &str, secs: f64) {
+    let path = match std::env::var_os("VISIONSIM_BENCH_JSON") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::PathBuf::from("BENCH.json"),
+    };
+    let entry_name = |line: &str| -> Option<String> {
+        let rest = line.trim_start().strip_prefix('"')?;
+        let end = rest.find('"')?;
+        rest[end..].contains(": {").then(|| rest[..end].to_string())
+    };
+    let mut entries: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            if let Some(n) = entry_name(line) {
+                entries.insert(n, line.trim_end_matches(',').to_string());
+            }
+        }
+    }
+    let ns = secs * 1e9;
+    entries.insert(
+        name.to_string(),
+        format!("  \"{name}\": {{\"min_ns\": {ns:.1}, \"mean_ns\": {ns:.1}, \"max_ns\": {ns:.1}, \"unit\": \"wall\"}}"),
+    );
+    let mut out = String::from("{\n");
+    let last = entries.len().saturating_sub(1);
+    for (i, line) in entries.values().enumerate() {
+        out.push_str(line);
+        out.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    if let Err(e) = write_atomic(&path, out.as_bytes()) {
+        eprintln!("warning: could not record wall time in {}: {e:?}", path.display());
+    }
 }
 
 /// One artifact's manifest record.

@@ -24,6 +24,7 @@
 //! | [`resilience`] | chaos drill: mid-session faults × severity × app, recovery metrics |
 //! | [`congestion`] | closed-loop congestion: fairness, cross-traffic, contention, handover |
 //! | [`storms`] | failover storms: admission control, breakers, reconnect convergence |
+//! | [`fleet`] | 100k-session global fleet on the sharded conservative-PDES engine |
 
 pub mod ablations;
 pub mod congestion;
@@ -34,6 +35,7 @@ pub mod extensions;
 pub mod figure4;
 pub mod figure5;
 pub mod figure6;
+pub mod fleet;
 pub mod keypoint_rate;
 pub mod mesh_streaming;
 pub mod motion_to_photon;

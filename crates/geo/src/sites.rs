@@ -109,6 +109,19 @@ impl SiteCapacity {
         }
     }
 
+    /// A hyperscale point of presence for fleet-scale runs: what one
+    /// site of a planet-wide SFU deployment is provisioned for. Sized so
+    /// a 16-site fleet carries ≥ 100k concurrent sessions with the hot
+    /// sites running into the envelope (rejections are part of the
+    /// workload, not a failure mode).
+    pub fn hyperscale() -> Self {
+        SiteCapacity {
+            max_sessions: 9_000,
+            max_participants: 50_000,
+            degraded_admit_frac: 0.85,
+        }
+    }
+
     /// Utilization of the participant envelope for `attached` users.
     pub fn utilization(&self, attached: u32) -> f64 {
         if self.max_participants == 0 {
@@ -184,6 +197,33 @@ impl SiteRegistry {
             site(provider, "E", "Ashburn, VA", 39.0438, -77.4874),
             site(provider, "EU", "Frankfurt, DE", 50.1109, 8.6821),
             site(provider, "AS", "Tokyo, JP", 35.6762, 139.6503),
+        ];
+        SiteRegistry { sites }
+    }
+
+    /// A planet-wide 16-site fleet for the 100k-session sharded runs:
+    /// the Table 1 US map extended to every inhabited continent. Every
+    /// pair of sites is ≥ ~900 km apart, so the minimum backbone one-way
+    /// latency — the conservative-PDES lookahead — stays in the
+    /// milliseconds, keeping barrier rounds coarse enough to parallelize.
+    pub fn global_fleet() -> Self {
+        let sites = vec![
+            site(Provider::FaceTime, "US-W", "San Jose, CA", 37.3382, -121.8863),
+            site(Provider::FaceTime, "US-NW", "Seattle, WA", 47.6062, -122.3321),
+            site(Provider::FaceTime, "US-S", "Dallas, TX", 32.7767, -96.7970),
+            site(Provider::FaceTime, "US-M", "Chicago, IL", 41.8500, -87.6500),
+            site(Provider::FaceTime, "US-E", "Ashburn, VA", 39.0438, -77.4874),
+            site(Provider::FaceTime, "US-SE", "Miami, FL", 25.7617, -80.1918),
+            site(Provider::FaceTime, "MX", "Mexico City, MX", 19.4326, -99.1332),
+            site(Provider::FaceTime, "SA", "Sao Paulo, BR", -23.5505, -46.6333),
+            site(Provider::FaceTime, "EU-W", "London, UK", 51.5074, -0.1278),
+            site(Provider::FaceTime, "EU-S", "Madrid, ES", 40.4168, -3.7038),
+            site(Provider::FaceTime, "EU-N", "Stockholm, SE", 59.3293, 18.0686),
+            site(Provider::FaceTime, "AF", "Johannesburg, ZA", -26.2041, 28.0473),
+            site(Provider::FaceTime, "AS-S", "Mumbai, IN", 19.0760, 72.8777),
+            site(Provider::FaceTime, "AS-SE", "Singapore, SG", 1.3521, 103.8198),
+            site(Provider::FaceTime, "AS-E", "Tokyo, JP", 35.6762, 139.6503),
+            site(Provider::FaceTime, "OC", "Sydney, AU", -33.8688, 151.2093),
         ];
         SiteRegistry { sites }
     }
@@ -273,6 +313,46 @@ mod tests {
         assert!(regions.contains(&Region::UsEast));
         assert!(regions.contains(&Region::Europe));
         assert!(regions.contains(&Region::AsiaEast));
+    }
+
+    #[test]
+    fn global_fleet_spans_continents_with_milliseconds_of_lookahead() {
+        let reg = SiteRegistry::global_fleet();
+        let sites = reg.sites();
+        assert_eq!(sites.len(), 16);
+        // Distinct labels, so fleet reports are unambiguous.
+        let mut labels: Vec<_> = sites.iter().map(|s| s.label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 16);
+        // Every pair far enough apart that backbone one-way latency (the
+        // PDES lookahead) is in the milliseconds.
+        let model = crate::propagation::LatencyModel::default();
+        let mut min_km = f64::MAX;
+        let mut min_one_way_ns = u64::MAX;
+        for (i, a) in sites.iter().enumerate() {
+            for b in sites.iter().skip(i + 1) {
+                let d = a.location().distance_km(&b.location());
+                min_km = min_km.min(d);
+                let ow = model.one_way(&a.location(), &b.location());
+                min_one_way_ns = min_one_way_ns.min(ow.as_nanos());
+            }
+        }
+        assert!(min_km > 900.0, "closest pair only {min_km:.0} km apart");
+        assert!(
+            min_one_way_ns > 4_000_000,
+            "min one-way {min_one_way_ns} ns leaves no usable lookahead"
+        );
+    }
+
+    #[test]
+    fn hyperscale_envelope_covers_the_fleet_target() {
+        let cap = SiteCapacity::hyperscale();
+        // 16 sites x the envelope must clear the 100k-session /
+        // 500k-participant fleet target with rejection headroom.
+        assert!(cap.max_sessions as u64 * 16 > 100_000);
+        assert!(cap.max_participants as u64 * 16 > 500_000);
+        assert!(cap.degraded_admit_frac > 0.0 && cap.degraded_admit_frac <= 1.0);
     }
 
     #[test]

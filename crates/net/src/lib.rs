@@ -29,6 +29,7 @@ pub mod packet;
 pub mod probe;
 pub mod shaper;
 pub mod tap;
+pub mod xshard;
 
 pub use fault::{apply_to_netem, DrawPlan, FaultEvent, FaultKind, FaultPlan, GeConfig, GeKernel, GilbertElliott};
 pub use link::{LinkConfig, LinkId};
@@ -38,3 +39,4 @@ pub use packet::{Packet, PortPair, IP_UDP_OVERHEAD_BYTES};
 pub use probe::{AnycastProbe, RttProber};
 pub use shaper::{LinkShaper, QueueLimit, ShaperConfig, ShaperVerdict};
 pub use tap::{TapId, TapRecord};
+pub use xshard::{LinkMatrix, ShardIngress, SiteEgress};

@@ -24,12 +24,14 @@
 
 pub mod adaptation;
 pub mod encoder;
+pub mod fleet;
 pub mod profile;
 pub mod scene;
 pub mod server;
 pub mod session;
 
 pub use adaptation::{PersonaAvailability, RateController};
+pub use fleet::{FleetConfig, FleetOutcome, SiteReport};
 pub use encoder::{VideoEncoder, VideoEncoderConfig};
 pub use profile::{AppProfile, PersonaType};
 pub use scene::{GazeDynamics, SeatingLayout};

@@ -7,7 +7,7 @@
 //! knobs (`set_threads`, `trace::force`, `metrics::force`) are never raced
 //! by the libtest runner.
 
-use visionsim::experiments::{extensions, figure6, mesh_streaming, resilience, storms, table1};
+use visionsim::experiments::{extensions, figure6, fleet, mesh_streaming, resilience, storms, table1};
 use visionsim::core::{metrics, par, trace};
 
 /// Render a small-but-representative slice of the suite at `seed`.
@@ -21,6 +21,7 @@ fn artifacts(seed: u64) -> String {
         60, 1_500, seed,
     )));
     out.push_str(&format!("{}", storms::run(12, seed)));
+    out.push_str(&format!("{}", fleet::run_smoke(seed)));
     out
 }
 
