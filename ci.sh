@@ -165,6 +165,72 @@ grep -q '"net/link_bytes_sent"' "$TRACEDIR/table1.metrics.json" \
   || { echo "trace dump shows no packet_send events" >&2; exit 1; }
 rm -rf "$TRACEDIR"
 
+echo "== serve: live control plane + Prometheus scrape + trace tail =="
+SERVEDIR=$(mktemp -d)
+# Boot the service on auto-assigned ports at 50x speed with a wall-clock
+# rail so a wedged run cannot hang CI; parse the ports from the banner.
+./target/release/visionsim serve --speed 50 --pacing-ms 5 \
+  --trace "$SERVEDIR/live.trace.bin" --run-secs 60 > "$SERVEDIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q '^serve control=' "$SERVEDIR/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+CTL=$(sed -n 's/^serve control=\([^ ]*\).*/\1/p' "$SERVEDIR/serve.log")
+METRICS=$(sed -n 's/^serve.*metrics=\([^ ]*\).*/\1/p' "$SERVEDIR/serve.log")
+test -n "$CTL" && test -n "$METRICS" \
+  || { echo "serve did not print its addresses" >&2; kill $SERVE_PID; exit 1; }
+V=./target/release/visionsim
+# Drive the wire protocol: join both presets, let sessions run, inject a
+# fault, then leave one and snapshot. Replies are asserted to be "ok ...".
+$V ctl "$CTL" join mixed 2 2024 300 | grep -q '^ok join 0' \
+  || { echo "serve: join mixed failed" >&2; kill $SERVE_PID; exit 1; }
+$V ctl "$CTL" join facetime 3 2024 300 | grep -q '^ok join 1' \
+  || { echo "serve: join facetime failed" >&2; kill $SERVE_PID; exit 1; }
+sleep 2
+$V ctl "$CTL" fault 0 1 burst-loss | grep -q '^ok fault' \
+  || { echo "serve: fault injection failed" >&2; kill $SERVE_PID; exit 1; }
+$V ctl "$CTL" snapshot | grep -q '"sanitizer_violations":0' \
+  || { echo "serve: snapshot reports sanitizer violations" >&2; kill $SERVE_PID; exit 1; }
+# A misspelled command must come back as a protocol error, not a hang.
+$V ctl "$CTL" jion mixed 2 1 5 2>/dev/null | grep -q '^err ' \
+  || { echo "serve: bad command did not yield err" >&2; kill $SERVE_PID; exit 1; }
+# Prometheus: the scrape must parse as text exposition format and carry
+# the Sim-class datapath series.
+SCRAPE=$($V scrape "$METRICS")
+echo "$SCRAPE" | grep -q '^# TYPE visionsim_net_link_bytes_sent counter' \
+  || { echo "scrape lacks the link byte counter" >&2; kill $SERVE_PID; exit 1; }
+echo "$SCRAPE" | python3 -c '
+import re, sys
+typed = set()
+for line in sys.stdin:
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    m = re.match(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$", line)
+    if m:
+        typed.add(m.group(1))
+        continue
+    m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9]+)$", line)
+    if not m:
+        sys.exit(f"unparseable exposition line: {line!r}")
+    base = re.sub(r"_(bucket|sum|count)$", "", m.group(1))
+    if m.group(1) not in typed and base not in typed:
+        sys.exit(f"sample before its TYPE line: {line!r}")
+print(f"  exposition ok: {len(typed)} metric families")
+' || { kill $SERVE_PID; exit 1; }
+# The live trace sidecar must be tailable while the service runs.
+./target/release/trace_dump --follow --polls 2 --interval-ms 200 \
+  "$SERVEDIR/live.trace.bin" | grep -q 'packet_send' \
+  || { echo "trace_dump --follow shows no datapath events" >&2; kill $SERVE_PID; exit 1; }
+# Graceful drain and shutdown; the process must exit on its own.
+$V ctl "$CTL" quiesce | grep -q '^ok quiesce' \
+  || { echo "serve: quiesce failed" >&2; kill $SERVE_PID; exit 1; }
+$V ctl "$CTL" shutdown | grep -q '^ok shutdown' \
+  || { echo "serve: shutdown failed" >&2; kill $SERVE_PID; exit 1; }
+wait $SERVE_PID || { echo "serve exited non-zero" >&2; exit 1; }
+rm -rf "$SERVEDIR"
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -391,6 +391,93 @@ pub fn snapshot_json(include_wall: bool) -> String {
     out
 }
 
+/// A registry metric name as a Prometheus metric name: `visionsim_`
+/// prefix, path separators and anything outside `[a-zA-Z0-9_:]` replaced
+/// by `_` (the exposition-format name grammar).
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(10 + name.len());
+    out.push_str("visionsim_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render the whole registry — both classes; a scraper wants wall-clock
+/// series too — in the Prometheus text exposition format (version 0.0.4,
+/// what a `GET /metrics` endpoint serves). Hand-rolled: the workspace
+/// builds without a prometheus client crate.
+///
+/// Mapping:
+/// * counters → `# TYPE … counter`, one sample;
+/// * gauges → `# TYPE … gauge`, one sample;
+/// * log2 histograms → `# TYPE … histogram` with cumulative
+///   `_bucket{le="…"}` samples at the power-of-two upper bounds the
+///   in-memory buckets already encode (bucket *i* holds values of bit
+///   length *i*, so its inclusive upper edge is `2^i − 1`), plus the
+///   standard `_sum`/`_count` pair and the mandatory `le="+Inf"` bucket.
+///
+/// Output is sorted by metric name, so consecutive scrapes of an idle
+/// registry are byte-identical.
+pub fn prometheus_text() -> String {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut entries: Vec<&Entry> = reg.iter().collect();
+    entries.sort_by_key(|e| e.name);
+    let mut out = String::new();
+    for entry in entries {
+        let name = prometheus_name(entry.name);
+        match &entry.value {
+            Value::Counter(c) => {
+                out.push_str(&format!(
+                    "# TYPE {name} counter\n{name} {}\n",
+                    c.load(Ordering::Relaxed)
+                ));
+            }
+            Value::Gauge(g) => {
+                out.push_str(&format!(
+                    "# TYPE {name} gauge\n{name} {}\n",
+                    g.load(Ordering::Relaxed)
+                ));
+            }
+            Value::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for (bit_len, bucket) in h.buckets.iter().enumerate() {
+                    let n = bucket.load(Ordering::Relaxed);
+                    // Empty log2 buckets are elided (65 per histogram is
+                    // exposition noise), but a bucket with data always
+                    // prints so the cumulative staircase is visible.
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative += n;
+                    // Bit length i covers values ≤ 2^i − 1; bucket 0 is
+                    // the literal value 0.
+                    let le = if bit_len == 0 {
+                        0u64
+                    } else {
+                        (1u64 << bit_len.min(63)).wrapping_sub(1).max(1)
+                    };
+                    let le = if bit_len >= 64 { u64::MAX } else { le };
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"{le}\"}} {cumulative}\n"
+                    ));
+                }
+                let count = h.count.load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"+Inf\"}} {count}\n{name}_sum {}\n{name}_count {count}\n",
+                    h.sum.load(Ordering::Relaxed)
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,5 +617,53 @@ mod tests {
         force(None);
         assert_eq!(c.get(), 0);
         assert_eq!(counter_value("metrics-test/reset_me"), Some(0));
+    }
+
+    #[test]
+    fn prometheus_names_use_exposition_charset() {
+        assert_eq!(
+            prometheus_name("net/link_bytes_sent"),
+            "visionsim_net_link_bytes_sent"
+        );
+        assert_eq!(prometheus_name("metrics-test/x.y"), "visionsim_metrics_test_x_y");
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let _g = override_guard();
+        force(Some(true));
+        let c = counter("metrics-test/prom_counter", Class::Sim);
+        let g = gauge("metrics-test/prom_gauge", Class::Wall);
+        let h = histogram("metrics-test/prom_hist", Class::Sim);
+        reset();
+        c.add(3);
+        g.set(-4);
+        h.observe(0); // bucket 0, le="0"
+        h.observe(5); // bit length 3, le="7"
+        h.observe(6); // same bucket
+        let text = prometheus_text();
+        force(None);
+
+        assert!(text.contains("# TYPE visionsim_metrics_test_prom_counter counter\n"));
+        assert!(text.contains("visionsim_metrics_test_prom_counter 3\n"));
+        // Wall-class series are exported too: a live scraper wants both.
+        assert!(text.contains("# TYPE visionsim_metrics_test_prom_gauge gauge\n"));
+        assert!(text.contains("visionsim_metrics_test_prom_gauge -4\n"));
+        // Histogram: cumulative buckets at log2 upper bounds + +Inf/sum/count.
+        assert!(text.contains("# TYPE visionsim_metrics_test_prom_hist histogram\n"));
+        assert!(text.contains("visionsim_metrics_test_prom_hist_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("visionsim_metrics_test_prom_hist_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("visionsim_metrics_test_prom_hist_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("visionsim_metrics_test_prom_hist_sum 11\n"));
+        assert!(text.contains("visionsim_metrics_test_prom_hist_count 3\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value == "+Inf" || value.parse::<i64>().is_ok(), "{line}");
+        }
     }
 }

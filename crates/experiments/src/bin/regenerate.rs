@@ -43,7 +43,9 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 if !harness::registry().iter().any(|s| s.name == name) {
-                    eprintln!("unknown artifact {name:?} (see harness::registry)");
+                    let valid: Vec<&str> =
+                        harness::registry().iter().map(|s| s.name).collect();
+                    eprintln!("unknown artifact {name:?}; valid names: {}", valid.join(", "));
                     return ExitCode::from(2);
                 }
                 only = Some(name);

@@ -10,6 +10,12 @@
 //! thread count. A per-kind count summary follows the timeline. Decode
 //! errors (truncated, corrupt, or hostile images) exit non-zero with the
 //! `SimError` message; they never panic.
+//!
+//! `--follow` tails a *live* sidecar (the file `visionsim serve --trace`
+//! rewrites atomically): the tool re-reads the file on an interval and
+//! prints only events beyond the `(time_ns, seq)` watermark it has
+//! already shown. `--polls N` bounds the number of re-reads (CI);
+//! without it, follow runs until interrupted.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -170,11 +176,106 @@ fn dump(
     out.flush()
 }
 
+/// Split `events` (already `(time_ns, seq)`-sorted) at the follow
+/// watermark: everything strictly beyond `mark` is new. Returns the new
+/// events and the advanced watermark.
+fn beyond_watermark(
+    events: &[TraceEvent],
+    mark: Option<(u64, u64)>,
+) -> (&[TraceEvent], Option<(u64, u64)>) {
+    let start = match mark {
+        None => 0,
+        Some(m) => events.partition_point(|ev| (ev.time_ns, ev.seq) <= m),
+    };
+    let fresh = &events[start..];
+    let next = fresh
+        .last()
+        .map(|ev| (ev.time_ns, ev.seq))
+        .or(mark);
+    (fresh, next)
+}
+
+/// Tail a live sidecar: poll the file, print events beyond the
+/// watermark. A missing or mid-rewrite file is a skipped poll, not an
+/// error — the writer replaces it atomically, so the next read is whole.
+fn follow(path: &str, polls: Option<u64>, interval: std::time::Duration) -> ExitCode {
+    let stdout = std::io::stdout().lock();
+    let mut out = std::io::BufWriter::new(stdout);
+    let mut mark: Option<(u64, u64)> = None;
+    let mut done: u64 = 0;
+    loop {
+        if let Ok(bytes) = std::fs::read(path) {
+            if let Ok((sites, mut events)) = trace::decode(&bytes) {
+                events.sort_unstable_by_key(|ev| (ev.time_ns, ev.seq));
+                let (fresh, next) = beyond_watermark(&events, mark);
+                mark = next;
+                for ev in fresh {
+                    match writeln!(out, "{}", render_line(ev, &sites)) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {
+                            return ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("trace_dump: write failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if out.flush().is_err() {
+                    return ExitCode::SUCCESS;
+                }
+            }
+        }
+        done += 1;
+        if let Some(limit) = polls {
+            if done >= limit {
+                return ExitCode::SUCCESS;
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: trace_dump <trace.bin>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut follow_mode = false;
+    let mut polls: Option<u64> = None;
+    let mut interval = std::time::Duration::from_millis(200);
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--follow" => follow_mode = true,
+            "--polls" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => polls = Some(n),
+                None => {
+                    eprintln!("trace_dump: --polls needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--interval-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => interval = std::time::Duration::from_millis(ms.max(1)),
+                None => {
+                    eprintln!("trace_dump: --interval-ms needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            other => {
+                eprintln!("trace_dump: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_dump [--follow] [--polls N] [--interval-ms MS] <trace.bin>");
         return ExitCode::from(2);
     };
+    if follow_mode {
+        return follow(&path, polls, interval);
+    }
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
         Err(e) => {
@@ -210,6 +311,39 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ev(time_ns: u64, seq: u64) -> TraceEvent {
+        TraceEvent {
+            time_ns,
+            seq,
+            kind: TraceKind::PacketSend,
+            site: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    #[test]
+    fn watermark_advances_and_filters() {
+        let events = vec![ev(10, 0), ev(10, 1), ev(20, 2), ev(30, 3)];
+        // First poll: everything is new.
+        let (fresh, mark) = beyond_watermark(&events, None);
+        assert_eq!(fresh.len(), 4);
+        assert_eq!(mark, Some((30, 3)));
+        // Same file again: nothing new, watermark unchanged.
+        let (fresh, mark) = beyond_watermark(&events, mark);
+        assert!(fresh.is_empty());
+        assert_eq!(mark, Some((30, 3)));
+        // The writer appended two events (and the ring dropped ev(10,0)).
+        let grown = vec![ev(10, 1), ev(20, 2), ev(30, 3), ev(30, 4), ev(40, 5)];
+        let (fresh, mark) = beyond_watermark(&grown, mark);
+        assert_eq!(
+            fresh.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(mark, Some((40, 5)));
+    }
 
     /// End-to-end smoke on a storm-scenario sidecar: record a thundering
     /// herd with the recorder forced on, encode → write → read → decode,

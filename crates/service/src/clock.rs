@@ -1,0 +1,74 @@
+//! The virtual clock: simulated time slaved to the wall clock.
+
+use std::time::{Duration, Instant};
+
+/// Map a wall-clock elapsed duration to virtual nanoseconds at `speed`.
+///
+/// Pure so it can be tested without sleeping: `speed` 1.0 is real time,
+/// 10.0 runs the simulation ten times faster than the wall.
+pub fn virtual_ns(wall_elapsed: Duration, speed: f64) -> u64 {
+    (wall_elapsed.as_secs_f64() * speed * 1e9) as u64
+}
+
+/// A virtual clock anchored at construction time.
+///
+/// The driver polls [`virtual_elapsed_ns`](VirtualClock::virtual_elapsed_ns)
+/// each pacing tick and advances the world to that target — sessions step
+/// in batched drains between ticks, so a slow pacing interval produces
+/// bigger batches, not lost time.
+pub struct VirtualClock {
+    start: Instant,
+    speed: f64,
+}
+
+impl VirtualClock {
+    /// A clock running at `speed` × real time, anchored now.
+    pub fn new(speed: f64) -> VirtualClock {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "speed must be a positive finite multiplier, got {speed}"
+        );
+        VirtualClock {
+            start: Instant::now(),
+            speed,
+        }
+    }
+
+    /// The speed multiplier.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Virtual nanoseconds elapsed since construction.
+    pub fn virtual_elapsed_ns(&self) -> u64 {
+        virtual_ns(self.start.elapsed(), self.speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_ns_scales_by_speed() {
+        assert_eq!(virtual_ns(Duration::from_secs(1), 1.0), 1_000_000_000);
+        assert_eq!(virtual_ns(Duration::from_secs(1), 10.0), 10_000_000_000);
+        assert_eq!(virtual_ns(Duration::from_millis(500), 2.0), 1_000_000_000);
+        assert_eq!(virtual_ns(Duration::ZERO, 100.0), 0);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = VirtualClock::new(50.0);
+        let a = clock.virtual_elapsed_ns();
+        let b = clock.virtual_elapsed_ns();
+        assert!(b >= a);
+        assert_eq!(clock.speed(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn zero_speed_is_rejected() {
+        VirtualClock::new(0.0);
+    }
+}

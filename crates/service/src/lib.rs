@@ -1,0 +1,31 @@
+//! Live service mode: `visionsim serve`.
+//!
+//! The batch pipeline (`regenerate`, the figure experiments) runs every
+//! session to completion and exits; the paper's subjects — FaceTime,
+//! Zoom, Webex on Vision Pro — are *live services* under continuous
+//! observation. This crate lifts the same engine into that shape:
+//!
+//! * [`clock::VirtualClock`] — a virtual clock slaved to the wall clock
+//!   at an `--speed N` multiplier; the driver advances every live
+//!   [`SessionSim`](visionsim_vca::session::SessionSim) in batched
+//!   drains between pacing ticks.
+//! * [`world::ServiceWorld`] — the session table: `join`/`leave`
+//!   sessions, inject `fault` plans mid-call, `snapshot` the state,
+//!   `quiesce` to drain. Pure simulation state, no sockets — the soak
+//!   test drives it directly, the server drives it from the wire.
+//! * [`proto`] — the line-delimited control protocol (one command per
+//!   line over a local TCP socket, one `ok …`/`err …` reply per line).
+//! * [`server::serve`] — the driver loop: pacing, command dispatch, a
+//!   hand-rolled HTTP `GET /metrics` endpoint exporting the
+//!   [`core::metrics`](visionsim_core::metrics) registry in Prometheus
+//!   text exposition format, and a live trace sidecar that `trace_dump
+//!   --follow` tails.
+//!
+//! The batch path is untouched: the service is a new consumer of the
+//! stepper API, not a fork of the engine — goldens and the determinism
+//! suite stay byte-identical.
+
+pub mod clock;
+pub mod proto;
+pub mod server;
+pub mod world;

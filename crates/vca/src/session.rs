@@ -477,8 +477,94 @@ impl SessionRunner {
     }
 
     /// Run the session to completion.
+    ///
+    /// Batch path: builds a [`SessionSim`] and steps it to the end in a
+    /// tight loop. Byte-identical to the pre-stepper monolithic loop —
+    /// the setup, per-tick body, and tail run in the same order with the
+    /// same RNG draws; only the stack frame boundaries moved.
     pub fn run(self) -> SessionOutcome {
-        let cfg = &self.config;
+        let mut sim = SessionSim::new(self.config);
+        while !sim.done() {
+            sim.step_tick();
+        }
+        sim.finish()
+    }
+}
+
+/// The session engine as an incremental stepper.
+///
+/// [`SessionRunner::run`] drives it to completion for the batch path; the
+/// live service drives it one [`step_tick`](SessionSim::step_tick) at a
+/// time, slaved to a wall clock, injecting faults between ticks via
+/// [`inject_fault`](SessionSim::inject_fault). All fields are the former
+/// locals of the monolithic run loop; the split into `new`/`step_tick`/
+/// `finish` preserves their exact initialization and update order.
+pub struct SessionSim {
+    config: SessionConfig,
+    n: usize,
+    persona_type: PersonaType,
+    topology: Topology,
+    rng: SimRng,
+    latency: LatencyModel,
+    net: Network,
+    clients: Vec<NodeId>,
+    aps: Vec<NodeId>,
+    tap_ids: Vec<TapId>,
+    access_links: Vec<(LinkId, LinkId)>,
+    registry: SiteRegistry,
+    locations: Vec<visionsim_geo::coords::GeoPoint>,
+    site_nodes: HashMap<&'static str, NodeId>,
+    backbone_pairs: HashSet<(NodeId, NodeId)>,
+    assignment: Option<ServerAssignment>,
+    servers: Vec<NodeId>,
+    audio_quic: Vec<QuicStreamSender>,
+    audio_rtp: Vec<RtpStream>,
+    senders: Vec<SenderState>,
+    receivers: Vec<HashMap<usize, ReceiverPeer>>,
+    persona_positions: Vec<visionsim_mesh::geometry::Vec3>,
+    seat_drift: Vec<visionsim_mesh::geometry::Vec3>,
+    pipeline: VisibilityPipeline,
+    cost_model: CostModel,
+    gazes: Vec<GazeDynamics>,
+    counters: Vec<SessionCounters>,
+    availability: Vec<PersonaAvailability>,
+    availability_log: Vec<Vec<(SimTime, PersonaState)>>,
+    rx_bytes_since_frame: Vec<usize>,
+    semantic_frame_sizes: Vec<usize>,
+    frame_sent_at: Vec<Vec<SimTime>>,
+    e2e_latency_ms: Vec<visionsim_core::stats::Percentiles>,
+    fault_plans: Vec<(usize, FaultPlan)>,
+    ladders: Vec<DegradationLadder>,
+    mode_log: Vec<Vec<(SimTime, PersonaMode)>>,
+    quality_log: Vec<Vec<(SimTime, f64)>>,
+    dead_sites: Vec<&'static str>,
+    dead_nodes: HashSet<NodeId>,
+    pending_failovers: Vec<(SimTime, Vec<usize>)>,
+    failovers: Vec<(SimTime, String)>,
+    directory: Option<SiteDirectory>,
+    reconnectors: Vec<Reconnector>,
+    next_probe: SimTime,
+    pli_sent: Vec<u64>,
+    keyframes_forced: Vec<u64>,
+    controllers: Vec<Option<CongestionController>>,
+    last_rr_loss: Vec<f64>,
+    pace_budget: Vec<f64>,
+    tick: SimDuration,
+    total_ticks: u64,
+    feedback_every: u64,
+    t: u64,
+}
+
+impl SessionSim {
+    /// Build the session world: topology, media state, chaos state, and
+    /// the congestion loop — everything up to (but not including) the
+    /// first tick.
+    pub fn new(config: SessionConfig) -> SessionSim {
+        assert!(
+            config.participants.len() >= 2,
+            "a session needs at least two participants"
+        );
+        let cfg = &config;
         let n = cfg.participants.len();
         let profile = AppProfile::of(cfg.provider);
         let devices: Vec<Device> = cfg
@@ -552,7 +638,7 @@ impl SessionRunner {
         // sites (and backbone links) mid-run.
         let mut site_nodes: HashMap<&'static str, NodeId> = HashMap::new();
         let mut backbone_pairs: HashSet<(NodeId, NodeId)> = HashSet::new();
-        let (assignment, mut servers): (Option<ServerAssignment>, Vec<NodeId>) = match topology {
+        let (assignment, servers): (Option<ServerAssignment>, Vec<NodeId>) = match topology {
             Topology::P2P => {
                 // Direct AP↔AP core path.
                 for i in 0..n {
@@ -609,17 +695,17 @@ impl SessionRunner {
         // --- Media state ----------------------------------------------
         // Audio senders: a QUIC stream alongside the persona stream for
         // spatial sessions, an RTP/Opus flow otherwise.
-        let mut audio_quic: Vec<QuicStreamSender> = (0..n)
+        let audio_quic: Vec<QuicStreamSender> = (0..n)
             .map(|i| QuicStreamSender::new(sender_dcid(i), 1, SESSION_KEY))
             .collect();
-        let mut audio_rtp: Vec<RtpStream> = (0..n)
+        let audio_rtp: Vec<RtpStream> = (0..n)
             .map(|i| RtpStream::new(
                 visionsim_transport::rtp::PayloadType::OpusAudio,
                 0x1000 + i as u32,
                 48_000,
             ))
             .collect();
-        let mut senders: Vec<SenderState> = (0..n)
+        let senders: Vec<SenderState> = (0..n)
             .map(|i| match persona_type {
                 PersonaType::Spatial => SenderState::Spatial {
                     capture: RgbdCapture::new(MotionConfig::default()),
@@ -644,7 +730,7 @@ impl SessionRunner {
             .collect();
 
         // receivers[r] maps sender index → peer state.
-        let mut receivers: Vec<HashMap<usize, ReceiverPeer>> = (0..n)
+        let receivers: Vec<HashMap<usize, ReceiverPeer>> = (0..n)
             .map(|r| {
                 (0..n)
                     .filter(|&s| s != r)
@@ -671,7 +757,7 @@ impl SessionRunner {
                 )
             })
             .collect();
-        let mut seat_drift: Vec<visionsim_mesh::geometry::Vec3> =
+        let seat_drift: Vec<visionsim_mesh::geometry::Vec3> =
             vec![visionsim_mesh::geometry::Vec3::ZERO; n - 1];
         let pipeline = VisibilityPipeline::new(cfg.visibility);
         let cost_model = CostModel::default();
@@ -681,7 +767,7 @@ impl SessionRunner {
         // persona, which is what gives foveation its Figure 6 bite even in
         // two-party calls).
         let ambient = visionsim_mesh::geometry::Vec3::new(0.5, -0.8, -1.0);
-        let mut gazes: Vec<GazeDynamics> = (0..n)
+        let gazes: Vec<GazeDynamics> = (0..n)
             .map(|_| {
                 let mut g =
                     GazeDynamics::new(persona_positions.clone()).with_ambient(ambient, 0.15);
@@ -691,38 +777,38 @@ impl SessionRunner {
                 g
             })
             .collect();
-        let mut counters: Vec<SessionCounters> = (0..n).map(|_| SessionCounters::new()).collect();
-        let mut availability: Vec<PersonaAvailability> =
+        let counters: Vec<SessionCounters> = (0..n).map(|_| SessionCounters::new()).collect();
+        let availability: Vec<PersonaAvailability> =
             (0..n).map(|_| PersonaAvailability::new()).collect();
-        let mut availability_log: Vec<Vec<(SimTime, PersonaState)>> = vec![Vec::new(); n];
-        let mut rx_bytes_since_frame: Vec<usize> = vec![0; n];
-        let mut semantic_frame_sizes: Vec<usize> = Vec::new();
+        let availability_log: Vec<Vec<(SimTime, PersonaState)>> = vec![Vec::new(); n];
+        let rx_bytes_since_frame: Vec<usize> = vec![0; n];
+        let semantic_frame_sizes: Vec<usize> = Vec::new();
         // Semantic frame ids are assigned sequentially per sender; log the
         // capture instant of each so receivers can measure end-to-end
         // latency on completion.
-        let mut frame_sent_at: Vec<Vec<SimTime>> = vec![Vec::new(); n];
-        let mut e2e_latency_ms: Vec<visionsim_core::stats::Percentiles> =
+        let frame_sent_at: Vec<Vec<SimTime>> = vec![Vec::new(); n];
+        let e2e_latency_ms: Vec<visionsim_core::stats::Percentiles> =
             (0..n).map(|_| visionsim_core::stats::Percentiles::new()).collect();
 
         // --- Chaos state ------------------------------------------------
-        let mut fault_plans: Vec<(usize, FaultPlan)> = cfg.fault_plans.clone();
+        let fault_plans: Vec<(usize, FaultPlan)> = cfg.fault_plans.clone();
         // Graceful degradation: spatial → 2D fallback per participant.
-        let mut ladders: Vec<DegradationLadder> =
+        let ladders: Vec<DegradationLadder> =
             (0..n).map(|_| DegradationLadder::new()).collect();
-        let mut mode_log: Vec<Vec<(SimTime, PersonaMode)>> = vec![Vec::new(); n];
-        let mut quality_log: Vec<Vec<(SimTime, f64)>> = vec![Vec::new(); n];
+        let mode_log: Vec<Vec<(SimTime, PersonaMode)>> = vec![Vec::new(); n];
+        let quality_log: Vec<Vec<(SimTime, f64)>> = vec![Vec::new(); n];
         // SFU failover: sites currently dead, nodes to stop forwarding
         // from, and the scheduled reattachments (due time, affected
         // participants). Overlapping ServerDown faults each queue their
         // own cohort — an earlier pending reattach is never overwritten.
-        let mut dead_sites: Vec<&'static str> = Vec::new();
-        let mut dead_nodes: HashSet<NodeId> = HashSet::new();
-        let mut pending_failovers: Vec<(SimTime, Vec<usize>)> = Vec::new();
-        let mut failovers: Vec<(SimTime, String)> = Vec::new();
+        let dead_sites: Vec<&'static str> = Vec::new();
+        let dead_nodes: HashSet<NodeId> = HashSet::new();
+        let pending_failovers: Vec<(SimTime, Vec<usize>)> = Vec::new();
+        let failovers: Vec<(SimTime, String)> = Vec::new();
         // Resilience path: the control-plane directory plus one reconnect
         // state machine per disconnected participant. The directory is
         // seeded with the initial attachments so admission sees real load.
-        let mut directory: Option<SiteDirectory> = cfg.resilience.map(|rc| {
+        let directory: Option<SiteDirectory> = cfg.resilience.map(|rc| {
             let mut dir = SiteDirectory::new(&registry, cfg.provider, rc);
             if let Some(a) = &assignment {
                 for (p, site) in a.attachments.iter().enumerate() {
@@ -731,18 +817,18 @@ impl SessionRunner {
             }
             dir
         });
-        let mut reconnectors: Vec<Reconnector> = Vec::new();
-        let mut next_probe = SimTime::ZERO;
+        let reconnectors: Vec<Reconnector> = Vec::new();
+        let next_probe = SimTime::ZERO;
         // PLI recovery accounting.
-        let mut pli_sent = vec![0u64; n];
-        let mut keyframes_forced = vec![0u64; n];
+        let pli_sent = vec![0u64; n];
+        let keyframes_forced = vec![0u64; n];
 
         // --- Congestion loop state --------------------------------------
         // One delay+loss controller per sender when the loop is closed.
         // The spatial ceiling sits above the nominal ~0.67 Mbps persona
         // rate so an unconstrained uplink keeps full fidelity; the 2D
         // ceiling is the encoder's own top rung.
-        let mut controllers: Vec<Option<CongestionController>> = (0..n)
+        let controllers: Vec<Option<CongestionController>> = (0..n)
             .map(|i| {
                 if !cfg.congestion_control {
                     return None;
@@ -771,16 +857,178 @@ impl SessionRunner {
             .collect();
         // Loss fraction from the newest RR, paired with the next XR into
         // one controller signal.
-        let mut last_rr_loss: Vec<f64> = vec![0.0; n];
+        let last_rr_loss: Vec<f64> = vec![0.0; n];
         // Spatial pacing: a per-sender byte budget refilled at the
         // controller target; capture ticks are skipped while it is spent.
-        let mut pace_budget: Vec<f64> = vec![0.0; n];
+        let pace_budget: Vec<f64> = vec![0.0; n];
 
-        // --- Main loop --------------------------------------------------
         let tick = SimDuration::FRAME_90FPS;
         let total_ticks = cfg.duration.as_nanos() / tick.as_nanos();
         let feedback_every = 90u64; // ~1 s
-        for t in 0..total_ticks {
+        SessionSim {
+            n,
+            persona_type,
+            topology,
+            rng,
+            latency,
+            net,
+            clients,
+            aps,
+            tap_ids,
+            access_links,
+            registry,
+            locations,
+            site_nodes,
+            backbone_pairs,
+            assignment,
+            servers,
+            audio_quic,
+            audio_rtp,
+            senders,
+            receivers,
+            persona_positions,
+            seat_drift,
+            pipeline,
+            cost_model,
+            gazes,
+            counters,
+            availability,
+            availability_log,
+            rx_bytes_since_frame,
+            semantic_frame_sizes,
+            frame_sent_at,
+            e2e_latency_ms,
+            fault_plans,
+            ladders,
+            mode_log,
+            quality_log,
+            dead_sites,
+            dead_nodes,
+            pending_failovers,
+            failovers,
+            directory,
+            reconnectors,
+            next_probe,
+            pli_sent,
+            keyframes_forced,
+            controllers,
+            last_rr_loss,
+            pace_budget,
+            tick,
+            total_ticks,
+            feedback_every,
+            t: 0,
+            config,
+        }
+    }
+
+    /// Whether every tick has been stepped.
+    pub fn done(&self) -> bool {
+        self.t >= self.total_ticks
+    }
+
+    /// Simulated time at the *next* tick boundary (the time `step_tick`
+    /// will advance through).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.t * self.tick.as_nanos())
+    }
+
+    /// Display-tick period (the step quantum).
+    pub fn tick_duration(&self) -> SimDuration {
+        self.tick
+    }
+
+    /// Ticks stepped so far and the configured total.
+    pub fn progress(&self) -> (u64, u64) {
+        (self.t, self.total_ticks)
+    }
+
+    /// Participant count.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Queue a fault plan against `participant`, effective from the next
+    /// tick — the live service's `fault` command lands here between
+    /// pacing ticks. Events already in the past fire on the next step.
+    pub fn inject_fault(&mut self, participant: usize, plan: FaultPlan) {
+        assert!(
+            participant < self.n,
+            "fault target {participant} out of range (session has {} participants)",
+            self.n
+        );
+        self.fault_plans.push((participant, plan));
+    }
+
+    /// Advance the session by one display tick (1/90 s of simulated
+    /// time). A no-op once [`done`](SessionSim::done) reports true.
+    pub fn step_tick(&mut self) {
+        if self.t >= self.total_ticks {
+            return;
+        }
+        let SessionSim {
+            config,
+            n,
+            persona_type,
+            topology,
+            rng,
+            latency,
+            net,
+            clients,
+            aps,
+            access_links,
+            registry,
+            locations,
+            site_nodes,
+            backbone_pairs,
+            servers,
+            audio_quic,
+            audio_rtp,
+            senders,
+            receivers,
+            persona_positions,
+            seat_drift,
+            pipeline,
+            cost_model,
+            gazes,
+            counters,
+            availability,
+            availability_log,
+            rx_bytes_since_frame,
+            semantic_frame_sizes,
+            frame_sent_at,
+            e2e_latency_ms,
+            fault_plans,
+            ladders,
+            mode_log,
+            quality_log,
+            dead_sites,
+            dead_nodes,
+            pending_failovers,
+            failovers,
+            directory,
+            reconnectors,
+            next_probe,
+            pli_sent,
+            keyframes_forced,
+            controllers,
+            last_rr_loss,
+            pace_budget,
+            tick,
+            feedback_every,
+            t,
+            ..
+        } = self;
+        let cfg: &SessionConfig = config;
+        // The body below is the former monolithic loop body, verbatim:
+        // the scalar copies keep the loop's local names compiling.
+        let n = *n;
+        let persona_type = *persona_type;
+        let topology = *topology;
+        let tick = *tick;
+        let feedback_every = *feedback_every;
+        let t = *t;
+        {
             let now = SimTime::from_nanos(t * tick.as_nanos());
 
             // Chaos engine: apply every fault event due by now.
@@ -895,7 +1143,7 @@ impl SessionRunner {
                 let (_, affected) = pending_failovers.remove(pos);
                 {
                     if let Some(site) =
-                        failover_site(&registry, cfg.provider, &locations[0], &dead_sites)
+                        failover_site(registry, cfg.provider, &locations[0], dead_sites)
                     {
                         let node = *site_nodes.entry(site.label).or_insert_with(|| {
                             net.add_node(
@@ -955,9 +1203,9 @@ impl SessionRunner {
             // feeds the breaker). Refusals reschedule per backoff until
             // the rejoin budget runs out.
             if let (Some(dir), Some(rc)) = (directory.as_mut(), cfg.resilience.as_ref()) {
-                if now >= next_probe {
+                if now >= *next_probe {
                     dir.probe_tick(now);
-                    next_probe = now + rc.probe_every;
+                    *next_probe = now + rc.probe_every;
                 }
                 for rec in reconnectors.iter_mut() {
                     if !rec.due(now) {
@@ -966,7 +1214,7 @@ impl SessionRunner {
                     let p = rec.participant() as usize;
                     let attempt = rec.take_attempt();
                     resilience_metrics().reconnect_attempts.inc();
-                    let candidate = dir.candidate(&locations[p], &dead_sites, now);
+                    let candidate = dir.candidate(&locations[p], dead_sites, now);
                     let mut admitted = None;
                     let verdict_code = match candidate {
                         None => {
@@ -1113,7 +1361,7 @@ impl SessionRunner {
                                 continue;
                             }
                         }
-                        let frame = capture.next_frame(&mut rng).persona_subset();
+                        let frame = capture.next_frame(rng).persona_subset();
                         let payload = codec.encode(&frame);
                         semantic_frame_sizes.push(payload.len());
                         frame_sent_at[i].push(now);
@@ -1139,7 +1387,7 @@ impl SessionRunner {
                         if t % 3 != 0 {
                             continue;
                         }
-                        let size = encoder.next_frame(&mut rng).as_bytes() as usize;
+                        let size = encoder.next_frame(rng).as_bytes() as usize;
                         let dst = match topology {
                             Topology::Sfu => servers[i],
                             Topology::P2P => clients[1 - i],
@@ -1418,7 +1666,7 @@ impl SessionRunner {
                     if cfg.participants[r].device != DeviceKind::VisionPro {
                         continue;
                     }
-                    let viewer = gazes[r].step(tick.as_secs_f64(), &mut rng);
+                    let viewer = gazes[r].step(tick.as_secs_f64(), rng);
                     // Slow in-seat drift (OU process, ~10 cm scale).
                     for d in seat_drift.iter_mut() {
                         let pull = 0.5 * tick.as_secs_f64() as f32;
@@ -1429,7 +1677,7 @@ impl SessionRunner {
                     }
                     let personas: Vec<PersonaInstance> = persona_positions
                         .iter()
-                        .zip(&seat_drift)
+                        .zip(seat_drift.iter())
                         .map(|(&p, &d)| PersonaInstance::paper_ladder(p + d))
                         .collect();
                     // Unavailable personas are not rendered; a participant
@@ -1441,7 +1689,7 @@ impl SessionRunner {
                         Vec::new()
                     };
                     let cost =
-                        cost_model.frame(&renders, rx_bytes_since_frame[r], &mut rng);
+                        cost_model.frame(&renders, rx_bytes_since_frame[r], rng);
                     counters[r].record(now, &cost);
                     rx_bytes_since_frame[r] = 0;
                 }
@@ -1611,6 +1859,35 @@ impl SessionRunner {
                 }
             }
         }
+        self.t += 1;
+    }
+
+    /// Tear down and summarize: consumes the stepper and produces the
+    /// same [`SessionOutcome`] the batch runner returns. Callable at any
+    /// point — the live service finishes sessions early on `leave`.
+    pub fn finish(self) -> SessionOutcome {
+        let SessionSim {
+            net,
+            tap_ids,
+            clients,
+            senders,
+            persona_type,
+            topology,
+            assignment,
+            counters,
+            availability_log,
+            semantic_frame_sizes,
+            e2e_latency_ms,
+            mode_log,
+            ladders,
+            quality_log,
+            failovers,
+            pli_sent,
+            keyframes_forced,
+            reconnectors,
+            directory,
+            ..
+        } = self;
 
         let taps: Vec<Vec<TapRecord>> = tap_ids
             .iter()

@@ -15,18 +15,121 @@
 //!   extensions    FEC + beyond-five-users extensions
 //!   session       run one spatial session and print its measurements
 //!   all           everything above, in paper order
+//!   serve         run the live service (see `serve --help`)
+//!   ctl           send one control command to a running service
+//!   scrape        HTTP GET a running service's /metrics endpoint
 //! ```
 //!
 //! The optional trailing integer seeds the simulation (default 2024);
-//! identical seeds reproduce identical output bit-for-bit.
+//! identical seeds reproduce identical output bit-for-bit. `serve`,
+//! `ctl`, and `scrape` take their own arguments instead of a seed.
 
 use visionsim::experiments::*;
 
 fn print_usage() -> ! {
     eprintln!(
-        "usage: visionsim <table1|figure4|figure5|figure6|delivery|protocols|discovery|m2p|extensions|session|all> [seed]"
+        "usage: visionsim <table1|figure4|figure5|figure6|delivery|protocols|discovery|m2p|extensions|session|all> [seed]\n       visionsim serve [--speed N] [--control ADDR] [--metrics ADDR] [--trace PATH] [--run-secs S] [--pacing-ms MS]\n       visionsim ctl <ADDR> <command...>\n       visionsim scrape <ADDR> [target]"
     );
     std::process::exit(2);
+}
+
+/// `visionsim serve`: run the live service until `shutdown` (or
+/// `--run-secs`). Prints `serve control=<addr> metrics=<addr> speed=<n>`
+/// once the sockets are bound; scripts parse the auto-assigned ports.
+fn run_serve(args: &[String]) {
+    use visionsim::service::server::{serve, ServeOptions};
+
+    let mut opts = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("serve: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--speed" => {
+                opts.speed = value("--speed").parse().unwrap_or_else(|_| {
+                    eprintln!("serve: bad --speed");
+                    std::process::exit(2);
+                })
+            }
+            "--control" => opts.control_addr = value("--control"),
+            "--metrics" => opts.metrics_addr = value("--metrics"),
+            "--trace" => opts.trace_path = Some(value("--trace").into()),
+            "--run-secs" => {
+                let secs: u64 = value("--run-secs").parse().unwrap_or_else(|_| {
+                    eprintln!("serve: bad --run-secs");
+                    std::process::exit(2);
+                });
+                opts.max_wall = Some(std::time::Duration::from_secs(secs));
+            }
+            "--pacing-ms" => {
+                let ms: u64 = value("--pacing-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("serve: bad --pacing-ms");
+                    std::process::exit(2);
+                });
+                opts.pacing = std::time::Duration::from_millis(ms.max(1));
+            }
+            other => {
+                eprintln!("serve: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = serve(opts) {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse_addr(addr: &str) -> std::net::SocketAddr {
+    addr.parse().unwrap_or_else(|_| {
+        eprintln!("bad address {addr:?} (expected host:port)");
+        std::process::exit(2);
+    })
+}
+
+/// `visionsim ctl <addr> <command...>`: one protocol round-trip.
+fn run_ctl(args: &[String]) {
+    use visionsim::service::server::control_roundtrip;
+    let (addr, words) = match args.split_first() {
+        Some(split) if !split.1.is_empty() => split,
+        _ => {
+            eprintln!("usage: visionsim ctl <ADDR> <command...>");
+            std::process::exit(2);
+        }
+    };
+    match control_roundtrip(&parse_addr(addr), &words.join(" ")) {
+        Ok(reply) => {
+            println!("{reply}");
+            if reply.starts_with("err ") {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("ctl: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `visionsim scrape <addr> [target]`: print the HTTP response body.
+fn run_scrape(args: &[String]) {
+    use visionsim::service::server::scrape;
+    let Some(addr) = args.first() else {
+        eprintln!("usage: visionsim scrape <ADDR> [target]");
+        std::process::exit(2);
+    };
+    let target = args.get(1).map(String::as_str).unwrap_or("/metrics");
+    match scrape(&parse_addr(addr), target) {
+        Ok(body) => print!("{body}"),
+        Err(e) => {
+            eprintln!("scrape: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_session(seed: u64) {
@@ -68,6 +171,12 @@ fn main() {
     let Some(command) = args.get(1) else {
         print_usage();
     };
+    match command.as_str() {
+        "serve" => return run_serve(&args[2..]),
+        "ctl" => return run_ctl(&args[2..]),
+        "scrape" => return run_scrape(&args[2..]),
+        _ => {}
+    }
     let seed: u64 = args
         .get(2)
         .map(|s| s.parse().unwrap_or_else(|_| print_usage()))

@@ -24,6 +24,7 @@
 //! | [`vca`] | `visionsim-vca` | FaceTime/Zoom/Webex/Teams models + session engine |
 //! | [`capture`] | `visionsim-capture` | Wireshark-at-the-AP flow analysis |
 //! | [`experiments`] | `visionsim-experiments` | one runner per paper table/figure |
+//! | [`service`] | `visionsim-service` | live service mode: real-time driver, control plane, Prometheus |
 //!
 //! ## Quickstart
 //!
@@ -63,5 +64,6 @@ pub use visionsim_net as net;
 pub use visionsim_render as render;
 pub use visionsim_semantic as semantic;
 pub use visionsim_sensor as sensor;
+pub use visionsim_service as service;
 pub use visionsim_transport as transport;
 pub use visionsim_vca as vca;
