@@ -193,7 +193,9 @@ $V ctl "$CTL" fault 0 1 burst-loss | grep -q '^ok fault' \
 $V ctl "$CTL" snapshot | grep -q '"sanitizer_violations":0' \
   || { echo "serve: snapshot reports sanitizer violations" >&2; kill $SERVE_PID; exit 1; }
 # A misspelled command must come back as a protocol error, not a hang.
-$V ctl "$CTL" jion mixed 2 1 5 2>/dev/null | grep -q '^err ' \
+# `ctl` exits 1 on an `err` reply, which pipefail would surface even
+# though grep matches — the `|| true` keeps only grep's verdict.
+($V ctl "$CTL" jion mixed 2 1 5 2>/dev/null || true) | grep -q '^err ' \
   || { echo "serve: bad command did not yield err" >&2; kill $SERVE_PID; exit 1; }
 # Prometheus: the scrape must parse as text exposition format and carry
 # the Sim-class datapath series.

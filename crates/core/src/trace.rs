@@ -529,9 +529,16 @@ pub struct FollowChunk {
 /// `cursor` (a `seq` watermark; start at 0) that still survives in the
 /// ring. The ring is left untouched, so a live follower (`trace_dump
 /// --follow`, the service's sidecar flush) coexists with the harness's
-/// end-of-artifact [`take`]. Drop accounting is best-effort under
-/// concurrent recording: an event whose `seq` was allocated but not yet
-/// stored is invisible to this poll and picked up by the next one.
+/// end-of-artifact [`take`].
+///
+/// Concurrency caveat: the returned cursor is `max(seq) + 1` over the
+/// events this poll observed. `seq` is allocated atomically *before*
+/// the mutex-guarded ring store ([`record`]), so under concurrent
+/// recording an event whose `seq` was handed out before the poll but
+/// stored after it lands below the advanced cursor and is skipped
+/// **permanently**, not picked up later. Callers that need lossless
+/// tailing must ensure record and follow run on the same thread — the
+/// service's single-threaded pacing loop does exactly that.
 pub fn follow(cursor: u64) -> FollowChunk {
     let ring = RING.lock().unwrap_or_else(|e| e.into_inner());
     let mut events: Vec<TraceEvent> = Vec::new();

@@ -13,9 +13,13 @@
 //!
 //! `--follow` tails a *live* sidecar (the file `visionsim serve --trace`
 //! rewrites atomically): the tool re-reads the file on an interval and
-//! prints only events beyond the `(time_ns, seq)` watermark it has
-//! already shown. `--polls N` bounds the number of re-reads (CI);
-//! without it, follow runs until interrupted.
+//! prints only events beyond the `seq` watermark it has already shown.
+//! The watermark is keyed on `seq` alone — `seq` is globally monotonic
+//! across the whole service lifetime, while `time_ns` is session-local
+//! virtual time that restarts near 0 for every joined session, so a
+//! time-keyed mark would silently swallow late joiners. `--polls N`
+//! bounds the number of re-reads (CI); without it, follow runs until
+//! interrupted.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -176,22 +180,16 @@ fn dump(
     out.flush()
 }
 
-/// Split `events` (already `(time_ns, seq)`-sorted) at the follow
-/// watermark: everything strictly beyond `mark` is new. Returns the new
-/// events and the advanced watermark.
-fn beyond_watermark(
-    events: &[TraceEvent],
-    mark: Option<(u64, u64)>,
-) -> (&[TraceEvent], Option<(u64, u64)>) {
-    let start = match mark {
-        None => 0,
-        Some(m) => events.partition_point(|ev| (ev.time_ns, ev.seq) <= m),
-    };
+/// Split `events` (already `seq`-sorted) at the follow watermark:
+/// everything with `seq >= cursor` is new. The cursor is a `seq`
+/// watermark (next unseen seq, start at 0) — never a timestamp, because
+/// sessions carry session-local virtual time and a late joiner's events
+/// would sort below a time-keyed mark and vanish. Returns the new
+/// events and the advanced cursor.
+fn beyond_watermark(events: &[TraceEvent], cursor: u64) -> (&[TraceEvent], u64) {
+    let start = events.partition_point(|ev| ev.seq < cursor);
     let fresh = &events[start..];
-    let next = fresh
-        .last()
-        .map(|ev| (ev.time_ns, ev.seq))
-        .or(mark);
+    let next = fresh.last().map(|ev| ev.seq + 1).unwrap_or(cursor);
     (fresh, next)
 }
 
@@ -201,15 +199,19 @@ fn beyond_watermark(
 fn follow(path: &str, polls: Option<u64>, interval: std::time::Duration) -> ExitCode {
     let stdout = std::io::stdout().lock();
     let mut out = std::io::BufWriter::new(stdout);
-    let mut mark: Option<(u64, u64)> = None;
+    let mut cursor: u64 = 0;
     let mut done: u64 = 0;
     loop {
         if let Ok(bytes) = std::fs::read(path) {
             if let Ok((sites, mut events)) = trace::decode(&bytes) {
-                events.sort_unstable_by_key(|ev| (ev.time_ns, ev.seq));
-                let (fresh, next) = beyond_watermark(&events, mark);
-                mark = next;
-                for ev in fresh {
+                // Filter order is seq (globally monotonic); display order
+                // within each batch is (time_ns, seq), per the header doc.
+                events.sort_unstable_by_key(|ev| ev.seq);
+                let (fresh, next) = beyond_watermark(&events, cursor);
+                cursor = next;
+                let mut fresh: Vec<TraceEvent> = fresh.to_vec();
+                fresh.sort_unstable_by_key(|ev| (ev.time_ns, ev.seq));
+                for ev in &fresh {
                     match writeln!(out, "{}", render_line(ev, &sites)) {
                         Ok(()) => {}
                         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {
@@ -328,21 +330,49 @@ mod tests {
     fn watermark_advances_and_filters() {
         let events = vec![ev(10, 0), ev(10, 1), ev(20, 2), ev(30, 3)];
         // First poll: everything is new.
-        let (fresh, mark) = beyond_watermark(&events, None);
+        let (fresh, cursor) = beyond_watermark(&events, 0);
         assert_eq!(fresh.len(), 4);
-        assert_eq!(mark, Some((30, 3)));
-        // Same file again: nothing new, watermark unchanged.
-        let (fresh, mark) = beyond_watermark(&events, mark);
+        assert_eq!(cursor, 4);
+        // Same file again: nothing new, cursor unchanged.
+        let (fresh, cursor) = beyond_watermark(&events, cursor);
         assert!(fresh.is_empty());
-        assert_eq!(mark, Some((30, 3)));
+        assert_eq!(cursor, 4);
         // The writer appended two events (and the ring dropped ev(10,0)).
         let grown = vec![ev(10, 1), ev(20, 2), ev(30, 3), ev(30, 4), ev(40, 5)];
-        let (fresh, mark) = beyond_watermark(&grown, mark);
+        let (fresh, cursor) = beyond_watermark(&grown, cursor);
         assert_eq!(
             fresh.iter().map(|e| e.seq).collect::<Vec<_>>(),
             vec![4, 5]
         );
-        assert_eq!(mark, Some((40, 5)));
+        assert_eq!(cursor, 6);
+    }
+
+    /// Regression: sessions joining mid-service carry session-local
+    /// virtual time that restarts near 0. A `(time_ns, seq)`-keyed
+    /// watermark would classify the late joiner's low timestamps as
+    /// already shown; the seq-keyed cursor must surface them.
+    #[test]
+    fn late_joiner_with_reset_virtual_time_is_not_dropped() {
+        // Poll 1: an established session deep into its virtual timeline.
+        let poll1 = vec![ev(1_000_000, 0), ev(2_000_000, 1)];
+        let (fresh, cursor) = beyond_watermark(&poll1, 0);
+        assert_eq!(fresh.len(), 2);
+        // Poll 2: a new session joined — its events have tiny time_ns
+        // but higher seq. They must all be classified as fresh.
+        let poll2 = vec![
+            ev(1_000_000, 0),
+            ev(2_000_000, 1),
+            ev(5, 2),
+            ev(10, 3),
+            ev(2_500_000, 4),
+        ];
+        let (fresh, cursor) = beyond_watermark(&poll2, cursor);
+        assert_eq!(
+            fresh.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "late joiner's low-timestamp events were dropped"
+        );
+        assert_eq!(cursor, 5);
     }
 
     /// End-to-end smoke on a storm-scenario sidecar: record a thundering

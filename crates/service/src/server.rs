@@ -21,6 +21,12 @@ use crate::clock::VirtualClock;
 use crate::proto::{self, Command};
 use crate::world::ServiceWorld;
 
+/// Upper bound on a buffered control line awaiting its newline. A
+/// client that streams bytes without ever terminating a line is cut off
+/// with `err line too long` instead of growing the per-connection
+/// buffer forever.
+pub const MAX_CONTROL_LINE: usize = 64 * 1024;
+
 /// Knobs for [`serve`].
 pub struct ServeOptions {
     /// Virtual-time multiplier (1.0 = real time).
@@ -230,6 +236,15 @@ pub fn serve(opts: ServeOptions) -> std::io::Result<()> {
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                     Err(_) => return false,
                 }
+            }
+            // A client streaming bytes without ever sending a newline
+            // would otherwise grow `pending` without bound; no valid
+            // control line approaches this cap.
+            if pending.len() > MAX_CONTROL_LINE
+                && !pending.contains(&b'\n')
+            {
+                let _ = writeln!(stream, "err line too long");
+                return false;
             }
             while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
                 let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
